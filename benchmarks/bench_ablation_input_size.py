@@ -1,0 +1,18 @@
+"""Extension bench: input-size representativeness.
+
+Quantifies the paper's warning that "the choice of application-input
+pairs is often arbitrary": how far do test/train inputs sit from ref in
+the suite's characterization space?
+"""
+
+from repro.core.sizes import input_size_similarity, summarize_size_similarity
+
+
+def test_input_size_similarity(benchmark, ctx):
+    similarities = benchmark(
+        input_size_similarity, ctx.selector, ctx.suite17
+    )
+    summary = summarize_size_similarity(similarities)
+    # Train is the better ref stand-in across the suite.
+    assert summary["mean_train_distance"] < summary["mean_test_distance"]
+    assert summary["train_closer_fraction"] > 0.6

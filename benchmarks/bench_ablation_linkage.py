@@ -1,0 +1,41 @@
+"""Ablation: linkage rule vs subset stability.
+
+DESIGN.md calls out the linkage choice as a free parameter the paper does
+not pin down; this bench quantifies how much the chosen subset moves
+across single / complete / average / ward linkage.
+"""
+
+import pytest
+
+from repro.core.subset import SubsetSelector
+
+LINKAGES = ("single", "complete", "average", "ward")
+
+
+@pytest.mark.parametrize("linkage", LINKAGES)
+def test_linkage_subset(benchmark, ctx, linkage):
+    selector = SubsetSelector(ctx.characterizer, linkage=linkage)
+    result = benchmark(selector.select, ctx.suite17, "rate")
+    # Any sensible linkage keeps the cluster count in the paper's band
+    # and the time saving meaningful.
+    assert 6 <= result.n_clusters <= 20
+    assert result.saving_pct > 40.0
+
+
+def test_linkage_overlap(benchmark, ctx):
+    """Measure membership overlap between average (default) and ward."""
+
+    def overlap():
+        base = SubsetSelector(ctx.characterizer, linkage="average").select(
+            ctx.suite17, "rate"
+        )
+        other = SubsetSelector(ctx.characterizer, linkage="ward").select(
+            ctx.suite17, "rate"
+        )
+        shared = set(base.selected) & set(other.selected)
+        return len(shared) / max(len(base.selected), len(other.selected))
+
+    ratio = benchmark(overlap)
+    # The methodology should be robust: at least a third of the subset is
+    # linkage-invariant.
+    assert ratio > 0.33

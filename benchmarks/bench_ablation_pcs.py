@@ -1,0 +1,36 @@
+"""Ablation: number of retained principal components.
+
+The paper keeps 4 PCs (76.3% variance).  This bench sweeps the retained
+count and reports captured variance plus the effect on the rate subset.
+"""
+
+import pytest
+
+from repro.core.subset import SubsetSelector
+
+
+@pytest.mark.parametrize("n_components", [2, 3, 4, 6, 8])
+def test_retained_pcs(benchmark, ctx, n_components):
+    selector = SubsetSelector(ctx.characterizer, n_components=n_components)
+
+    def analyze():
+        variance = selector.variance_captured(ctx.suite17)
+        subset = selector.select(ctx.suite17, "rate")
+        return variance, subset
+
+    variance, subset = benchmark(analyze)
+    assert 0 < variance <= 1.0
+    assert subset.n_clusters >= 4
+
+
+def test_variance_monotone_in_components(benchmark, ctx):
+    def sweep():
+        return [
+            SubsetSelector(ctx.characterizer, n_components=k).variance_captured(
+                ctx.suite17
+            )
+            for k in (1, 2, 4, 8)
+        ]
+
+    variances = benchmark(sweep)
+    assert all(b >= a - 1e-12 for a, b in zip(variances, variances[1:]))

@@ -1,0 +1,30 @@
+"""Ablation: simulation sample size vs counter-rate convergence.
+
+The reproduction simulates a statistical sample of each pair; this bench
+quantifies how quickly the measured rates converge to the 120k-op
+reference as the sample grows, justifying the default sample size.
+"""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.perf.session import PerfSession
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def reference(ctx):
+    session = PerfSession(config=haswell_e5_2650l_v3(), sample_ops=120_000)
+    profile = ctx.suite17.get("505.mcf_r").profile(InputSize.REF)
+    return session.run(profile)
+
+
+@pytest.mark.parametrize("sample_ops", [5_000, 15_000, 60_000])
+def test_sample_convergence(benchmark, ctx, reference, sample_ops):
+    profile = ctx.suite17.get("505.mcf_r").profile(InputSize.REF)
+    session = PerfSession(config=haswell_e5_2650l_v3(), sample_ops=sample_ops)
+    report = benchmark(session.run, profile)
+    # Relative error bound loosens as the sample shrinks.
+    budget = 0.02 + 600.0 / sample_ops
+    assert abs(report.ipc / reference.ipc - 1) < budget
+    assert abs(report.miss_rate(1) / reference.miss_rate(1) - 1) < budget * 2

@@ -1,0 +1,30 @@
+"""Extension bench: design-ranking fidelity of the suggested subset.
+
+The strongest representativeness claim: architects rank candidate designs
+with the suite, so the subset must rank a design space the same way the
+full pair population does.
+"""
+
+import pytest
+
+from repro.core.rank import DesignRanker, candidate_configs
+
+
+@pytest.mark.parametrize("group", ["rate", "speed"])
+def test_subset_design_ranking(benchmark, ctx, group):
+    subset = ctx.subset(group)
+    profiles = [
+        ctx.suite17.find_pair(name).profile for name in subset.pair_names
+    ]
+    ranker = DesignRanker(sample_ops=6_000)
+    configs = candidate_configs()
+    # One round: the validation simulates |pairs| x |configs| traces.
+    report = benchmark.pedantic(
+        ranker.validate, args=(subset, profiles, configs),
+        rounds=1, iterations=1,
+    )
+    assert report.spearman > 0.75
+    assert report.kendall > 0.5
+    # The design space must actually spread the scores, or the ranking
+    # claim would be vacuous.
+    assert max(report.full_scores) > 1.05 * min(report.full_scores)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 1 (per-application IPC).
+
+Paper shape: x264 tops the int suites; mcf/xz_s sit at the bottom; the
+speed-fp panel sits far below the rate-fp panel.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig1(benchmark, ctx):
+    result = benchmark(run_experiment, "fig1", ctx)
+    figure = result.data["figure"]
+    rate = dict(zip(figure.panel("rate").labels,
+                    figure.panel("rate").series["ipc"]))
+    assert max(rate, key=rate.get).startswith("x264")
+    speed = dict(zip(figure.panel("speed").labels,
+                     figure.panel("speed").series["ipc"]))
+    assert min(speed, key=speed.get) == "lbm_s"

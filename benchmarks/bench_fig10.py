@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 10 (Pareto-optimal cluster sizes).
+
+Paper shape: SSE decreases and subset time increases with the cluster
+count; the chosen counts land near the paper's 12 (rate) / 10 (speed).
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig10(benchmark, ctx):
+    result = benchmark(run_experiment, "fig10", ctx)
+    for group, low, high in (("rate", 8, 16), ("speed", 7, 14)):
+        subset = result.data[group]
+        sses = [p.sse for p in subset.sweep]
+        times = [p.subset_time_seconds for p in subset.sweep]
+        assert all(b <= a + 1e-9 for a, b in zip(sses, sses[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+        assert low <= subset.n_clusters <= high

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 2 (memory micro-op breakdown).
+
+Paper shape: cactuBSSN has the most memory micro-ops, roms_s the fewest.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig2(benchmark, ctx):
+    result = benchmark(run_experiment, "fig2", ctx)
+    figure = result.data["figure"]
+    panel = figure.panel("rate")
+    total = {
+        label: loads + stores
+        for label, loads, stores in zip(
+            panel.labels, panel.series["loads"], panel.series["stores"]
+        )
+    }
+    assert max(total, key=total.get) == "cactuBSSN_r"
+    speed = figure.panel("speed")
+    speed_total = {
+        label: loads + stores
+        for label, loads, stores in zip(
+            speed.labels, speed.series["loads"], speed.series["stores"]
+        )
+    }
+    assert min(speed_total, key=speed_total.get) == "roms_s"

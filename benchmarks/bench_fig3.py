@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 3 (branch characteristics).
+
+Paper shape: mcf has the highest branch share, lbm the lowest.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig3(benchmark, ctx):
+    result = benchmark(run_experiment, "fig3", ctx)
+    figure = result.data["figure"]
+    rate = dict(zip(figure.panel("rate").labels,
+                    figure.panel("rate").series["branches"]))
+    assert max(rate, key=rate.get) == "mcf_r"
+    assert min(rate, key=rate.get) == "lbm_r"

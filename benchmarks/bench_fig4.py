@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 4 (memory footprint).
+
+Paper shape: xz_s has the largest RSS/VSZ; exchange2_r the smallest RSS;
+speed panels dwarf rate panels.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig4(benchmark, ctx):
+    result = benchmark(run_experiment, "fig4", ctx)
+    figure = result.data["figure"]
+    speed = dict(zip(figure.panel("speed").labels,
+                     figure.panel("speed").series["vsz"]))
+    assert max(speed, key=speed.get).startswith("xz_s")
+    rate = dict(zip(figure.panel("rate").labels,
+                    figure.panel("rate").series["rss"]))
+    assert min(rate, key=rate.get) == "exchange2_r"
+    rate_mean = sum(rate.values()) / len(rate)
+    speed_rss = figure.panel("speed").series["rss"]
+    speed_mean = sum(speed_rss) / len(speed_rss)
+    assert speed_mean > 4 * rate_mean

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 5 (cache miss rates).
+
+Paper shape: fotonik3d_r tops the rate L2 misses and mcf_s the speed L2
+misses; deepsjeng tops L3 in both; L2 rates exceed L3 for most apps.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig5(benchmark, ctx):
+    result = benchmark(run_experiment, "fig5", ctx)
+    figure = result.data["figure"]
+    for panel_name, l2_top, l3_top in (
+        ("rate", "fotonik3d_r", "deepsjeng_r"),
+        ("speed", "mcf_s", "deepsjeng_s"),
+    ):
+        panel = figure.panel(panel_name)
+        l2 = dict(zip(panel.labels, panel.series["l2"]))
+        l3 = dict(zip(panel.labels, panel.series["l3"]))
+        assert max(l2, key=l2.get) == l2_top
+        assert max(l3, key=l3.get) == l3_top
+        dominated = sum(
+            1 for label in panel.labels if l2[label] > l3[label]
+        )
+        assert dominated > 0.7 * len(panel.labels)

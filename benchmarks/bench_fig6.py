@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 6 (branch mispredict rates).
+
+Paper shape: leela is the outlier (~3.5x the suite average) in both
+mini-suites.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig6(benchmark, ctx):
+    result = benchmark(run_experiment, "fig6", ctx)
+    figure = result.data["figure"]
+    for panel_name, top in (("rate", "leela_r"), ("speed", "leela_s")):
+        panel = figure.panel(panel_name)
+        rates = dict(zip(panel.labels, panel.series["mispredict"]))
+        assert max(rates, key=rates.get) == top
+        average = sum(rates.values()) / len(rates)
+        assert rates[top] > 2.5 * average

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 7 (PC-space scatter).
+
+Paper shape: PC1 has the widest range (ranges shrink PC1 -> PC4);
+bwaves_s's two ref inputs nearly coincide while cactuBSSN_s sits apart.
+"""
+
+import numpy as np
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig7(benchmark, ctx):
+    result = benchmark(run_experiment, "fig7", ctx)
+    pca = result.data["pca"]
+    spans = pca.scores.max(axis=0) - pca.scores.min(axis=0)
+    assert spans[0] == max(spans)
+    labels = result.data["labels"]
+    index = {label: i for i, label in enumerate(labels)}
+    in1 = pca.scores[index["603.bwaves_s-in1/ref"]]
+    in2 = pca.scores[index["603.bwaves_s-in2/ref"]]
+    cactu = pca.scores[index["607.cactuBSSN_s/ref"]]
+    assert np.linalg.norm(in1 - cactu) > 5 * np.linalg.norm(in1 - in2)

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 9 (dendrograms).
+
+Paper shape: same-application inputs (e.g. 602.gcc_s inputs,
+603.bwaves_s in1/in2) merge early and sit adjacent on the leaf axis.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_fig9(benchmark, ctx):
+    result = benchmark(run_experiment, "fig9", ctx)
+    figure = result.data["figure"]
+    speed_order = figure.panel("speed").labels
+    assert abs(
+        speed_order.index("603.bwaves_s-in1/ref")
+        - speed_order.index("603.bwaves_s-in2/ref")
+    ) == 1
+    rate_order = figure.panel("rate").labels
+    x264 = [i for i, label in enumerate(rate_order) if "525.x264_r" in label]
+    assert max(x264) - min(x264) == len(x264) - 1

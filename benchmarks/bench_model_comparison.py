@@ -1,0 +1,43 @@
+"""Extension bench: analytical vs cycle-level performance models.
+
+The calibrated interval-analysis model reproduces the paper's measured
+out-of-order IPC; the independently-built in-order cycle model has no
+calibration inputs at all.  Their per-application orderings must agree —
+if they didn't, the analytical model's penalties would be suspect.
+"""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.stats.rank import spearman_rho
+from repro.uarch.core import SimulatedCore
+from repro.uarch.cycle_core import InOrderCore
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import InputSize
+
+APPS = (
+    "525.x264_r", "505.mcf_r", "549.fotonik3d_r", "541.leela_r",
+    "548.exchange2_r", "520.omnetpp_r", "508.namd_r", "519.lbm_r",
+)
+
+
+def test_model_ordering_agreement(benchmark, ctx):
+    config = haswell_e5_2650l_v3()
+    generator = TraceGenerator(config)
+    traces = [
+        generator.generate(
+            ctx.suite17.get(name).profile(InputSize.REF), n_ops=12_000
+        )
+        for name in APPS
+    ]
+
+    def compare():
+        analytical = [SimulatedCore(config).run(t).ipc for t in traces]
+        cycle = [InOrderCore(config).run(t).ipc for t in traces]
+        return analytical, cycle
+
+    analytical, cycle = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert spearman_rho(analytical, cycle) > 0.7
+    # The in-order core can never beat the calibrated OoO model by much.
+    for a, c in zip(analytical, cycle):
+        assert c < a * 1.3

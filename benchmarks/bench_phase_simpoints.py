@@ -1,0 +1,50 @@
+"""Extension bench: phase detection + simulation points (paper future work).
+
+Measures the SimPoint-style pipeline on a phased workload and asserts it
+reproduces whole-run metrics from a small simulated fraction.
+"""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.phases import (
+    PhaseDetector,
+    PhasedTraceGenerator,
+    PhasedWorkload,
+    Schedule,
+    estimate_from_simulation_points,
+    make_phases,
+)
+from repro.uarch.core import SimulatedCore
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def phased(ctx):
+    config = haswell_e5_2650l_v3()
+    base = ctx.suite17.get("502.gcc_r").profile(InputSize.REF)
+    workload = PhasedWorkload(
+        "gcc-phased",
+        make_phases(base, ["compute", "memory", "branchy"]),
+        Schedule.round_robin(3, 6000, 24),
+    )
+    return PhasedTraceGenerator(config).generate(workload)
+
+
+def test_phase_detection(benchmark, phased):
+    detector = PhaseDetector(interval_ops=2000)
+    analysis = benchmark(detector.analyze, phased.trace)
+    assert 3 <= analysis.n_phases <= 8
+    assert sum(analysis.weights) == pytest.approx(1.0)
+
+
+def test_simulation_point_estimate(benchmark, phased):
+    config = haswell_e5_2650l_v3()
+    core = SimulatedCore(config)
+    analysis = PhaseDetector(interval_ops=2000).analyze(phased.trace)
+    full = core.run(phased.trace)
+    estimate = benchmark(
+        estimate_from_simulation_points, core, phased.trace, analysis
+    )
+    assert estimate["ipc"] == pytest.approx(full.ipc, rel=0.08)
+    assert estimate["simulated_fraction"] < 0.25

@@ -1,0 +1,34 @@
+"""Extension bench: subset representativeness.
+
+Validates the paper's claim that the suggested subset "represents the
+complete suite": cluster-weighted subset means must reproduce the full
+group's metric means, and the chosen cluster count must validate better
+than a too-coarse one.
+"""
+
+import pytest
+
+from repro.core.validate import validate_subset
+
+
+@pytest.mark.parametrize("group", ["rate", "speed"])
+def test_subset_representativeness(benchmark, ctx, group):
+    result = ctx.subset(group)
+    _, metrics = ctx.selector.group_scores(ctx.suite17, group)
+    report = benchmark(validate_subset, result, metrics)
+    assert report.result("ipc").relative_error < 0.25
+    assert report.mean_relative_error < 0.40
+
+
+def test_coarser_subsets_validate_worse(benchmark, ctx):
+    _, metrics = ctx.selector.group_scores(ctx.suite17, "rate")
+
+    def compare():
+        fine = validate_subset(ctx.subset("rate"), metrics)
+        coarse = validate_subset(
+            ctx.selector.select(ctx.suite17, "rate", n_clusters=2), metrics
+        )
+        return fine, coarse
+
+    fine, coarse = benchmark(compare)
+    assert coarse.mean_relative_error > fine.mean_relative_error

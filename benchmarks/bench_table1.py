@@ -1,0 +1,9 @@
+"""Bench: regenerate Table I (system configuration)."""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table1(benchmark, ctx):
+    result = benchmark(run_experiment, "table1", ctx)
+    assert "Haswell" in result.text
+    assert len(result.data["rows"]) == 7

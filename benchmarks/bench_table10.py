@@ -1,0 +1,19 @@
+"""Bench: regenerate Table X (suggested subset).
+
+Paper shape: ~12 rate clusters saving ~57%, ~10 speed clusters saving
+~62%; we require the counts within a few clusters and savings in the
+55-75% band.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table10(benchmark, ctx):
+    result = benchmark(run_experiment, "table10", ctx)
+    rate = result.data["rate"]
+    speed = result.data["speed"]
+    assert 8 <= rate.n_clusters <= 16
+    assert 7 <= speed.n_clusters <= 14
+    assert 50.0 <= rate.saving_pct <= 75.0
+    assert 50.0 <= speed.saving_pct <= 75.0
+    assert len(rate.selected) == rate.n_clusters

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table II (average performance characteristics).
+
+Paper shape: instruction counts/time grow test->train->ref, speed-fp IPC
+collapses relative to rate-fp, speed instruction counts exceed rate.
+"""
+
+from repro.reports.experiments import run_experiment
+from repro.workloads.profile import InputSize, MiniSuite
+
+
+def test_table2(benchmark, ctx):
+    result = benchmark(run_experiment, "table2", ctx)
+    summaries = {
+        (s.suite, s.input_size): s for s in result.data["summaries"]
+    }
+    assert len(summaries) == 12
+    rate_fp = summaries[(MiniSuite.RATE_FP, InputSize.REF)]
+    speed_fp = summaries[(MiniSuite.SPEED_FP, InputSize.REF)]
+    assert speed_fp.ipc < 0.55 * rate_fp.ipc
+    assert speed_fp.instructions_e9 > 3 * rate_fp.instructions_e9

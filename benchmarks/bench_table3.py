@@ -1,0 +1,13 @@
+"""Bench: regenerate Table III (IPC comparison CPU17 vs CPU06).
+
+Paper shape: CPU17 IPC lower overall, fp drop dominates the int drop.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table3(benchmark, ctx):
+    result = benchmark(run_experiment, "table3", ctx)
+    ipc = result.data["comparisons"]["ipc"]
+    assert ipc.delta("all") < 0
+    assert (1 - ipc.ratio("fp")) > (1 - ipc.ratio("int"))

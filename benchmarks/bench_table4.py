@@ -1,0 +1,20 @@
+"""Bench: regenerate Table IV (instruction-mix comparison).
+
+Paper shape: int applications branch and store more than fp in both suite
+generations; suite-level mixes stay within a few points of each other.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table4(benchmark, ctx):
+    result = benchmark(run_experiment, "table4", ctx)
+    comparisons = result.data["comparisons"]
+    branches = comparisons["branch_pct"]
+    stores = comparisons["store_pct"]
+    for generation in ("CPU06", "CPU17"):
+        assert (branches.row("%s int" % generation).mean
+                > branches.row("%s fp" % generation).mean)
+        assert (stores.row("%s int" % generation).mean
+                > stores.row("%s fp" % generation).mean)
+    assert abs(comparisons["load_pct"].delta("all")) < 4.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table V (RSS/VSZ comparison).
+
+Paper shape: CPU17 footprints are ~5x CPU06's (4.3-6.3x by split).
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table5(benchmark, ctx):
+    result = benchmark(run_experiment, "table5", ctx)
+    comparisons = result.data["comparisons"]
+    assert 3.0 < comparisons["rss_gib"].ratio("all") < 8.0
+    assert 3.0 < comparisons["vsz_gib"].ratio("all") < 8.0

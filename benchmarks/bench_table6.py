@@ -1,0 +1,13 @@
+"""Bench: regenerate Table VI (cache miss-rate comparison).
+
+Paper shape: CPU17 L2 miss rates decrease vs CPU06 while L1/L3 move less.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table6(benchmark, ctx):
+    result = benchmark(run_experiment, "table6", ctx)
+    comparisons = result.data["comparisons"]
+    assert comparisons["l2_miss_pct"].delta("all") < 0
+    assert abs(comparisons["l1_miss_pct"].delta("all")) < 3.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table VII (branch-mispredict comparison).
+
+Paper shape: int mispredicts exceed fp in both generations; the overall
+CPU17/CPU06 means sit within a fraction of a point of each other.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table7(benchmark, ctx):
+    result = benchmark(run_experiment, "table7", ctx)
+    mispredicts = result.data["comparisons"]["mispredict_pct"]
+    for generation in ("CPU06", "CPU17"):
+        assert (mispredicts.row("%s int" % generation).mean
+                > mispredicts.row("%s fp" % generation).mean)
+    assert abs(mispredicts.delta("all")) < 1.0

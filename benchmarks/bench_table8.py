@@ -1,0 +1,10 @@
+"""Bench: regenerate Table VIII (the 20 PCA characteristics)."""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table8(benchmark, ctx):
+    result = benchmark(run_experiment, "table8", ctx)
+    features = result.data["features"]
+    assert len(features) == 20
+    assert "rss" in features and "vsz" in features

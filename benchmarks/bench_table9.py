@@ -1,0 +1,19 @@
+"""Bench: regenerate Table IX (PC-clustering validation).
+
+Paper shape: 603.bwaves_s in1/in2 are near-identical on every
+characteristic; both differ sharply from 607.cactuBSSN_s.
+"""
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table9(benchmark, ctx):
+    result = benchmark(run_experiment, "table9", ctx)
+    measured = result.data["measured"]
+    in1 = measured["603.bwaves_s-in1/ref"]
+    in2 = measured["603.bwaves_s-in2/ref"]
+    cactu = measured["607.cactuBSSN_s/ref"]
+    assert abs(in1.load_pct - in2.load_pct) < 1.0
+    assert abs(in1.branch_pct - in2.branch_pct) < 1.0
+    assert abs(in1.load_pct - cactu.load_pct) > 4.0
+    assert in1.instructions > 3 * cactu.instructions

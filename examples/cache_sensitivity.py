@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cache design-space study on fixed SPEC CPU2017 address streams.
+
+The paper motivates workload characterization with exactly this use case:
+architects simulate SPEC applications to size next-generation memory
+hierarchies.  This example keeps each application's address stream fixed
+(generated against the paper's Table-I machine) and sweeps the L2
+associativity and L3 geometry, reporting how the per-level miss rates and
+IPC respond — and confirming the paper's observation that the 30 MB L3 is
+better provisioned than the 256 KB L2.
+"""
+
+from dataclasses import replace
+
+from repro.config import CacheConfig, haswell_e5_2650l_v3
+from repro.uarch.core import SimulatedCore
+from repro.workloads import cpu2017
+from repro.workloads.calibrate import solve_pipeline_params
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import InputSize
+
+APPS = ("505.mcf_r", "549.fotonik3d_r", "520.omnetpp_r", "525.x264_r")
+
+
+def build_configs():
+    base = haswell_e5_2650l_v3()
+    return {
+        "table-I (8-way 256K L2)": base,
+        "16-way 256K L2": replace(
+            base, l2=CacheConfig("L2", 256 * 1024, 16,
+                                 hit_latency=12, miss_penalty=24)),
+        "32-way 256K L2": replace(
+            base, l2=CacheConfig("L2", 256 * 1024, 32,
+                                 hit_latency=12, miss_penalty=24)),
+        "tiny 480K L3": replace(
+            base, l3=CacheConfig("L3", 512 * 64 * 15, 15, hit_latency=36,
+                                 miss_penalty=174, shared=True)),
+    }
+
+
+def main() -> None:
+    suite = cpu2017()
+    base = haswell_e5_2650l_v3()
+    generator = TraceGenerator(base)
+    configs = build_configs()
+
+    header = "%-18s" % "application"
+    for label in configs:
+        header += " | %24s" % label
+    print(header)
+    print("-" * len(header))
+
+    for app in APPS:
+        profile = suite.get(app).profile(InputSize.REF)
+        trace = generator.generate(profile, n_ops=40_000)
+        params = solve_pipeline_params(profile, base)
+        row = "%-18s" % app
+        for config in configs.values():
+            result = SimulatedCore(config).run(trace, params=params)
+            _, m2, m3 = result.load_miss_rates
+            row += " | L2 %4.0f%% L3 %4.0f%% ipc %4.2f" % (
+                100 * m2, 100 * m3, result.ipc)
+        print(row)
+
+    print()
+    print("Reading the table: widening the L2 rescues the applications the")
+    print("paper flags as L2-thrashing (mcf, fotonik3d); shrinking the L3")
+    print("to 480K pushes their L3-resident working sets out to memory —")
+    print("the 30 MB shared L3 of the paper's machine is indeed the")
+    print("better-provisioned level.")
+
+
+if __name__ == "__main__":
+    main()

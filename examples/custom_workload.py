@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Place your own workload in SPEC CPU2017's characterization space.
+
+A common downstream question: "which SPEC application is most similar to
+my application?"  This example defines a brand-new workload profile (a
+pointer-chasing in-memory key-value store), characterizes it with the same
+perf-counter pipeline as the suite, projects it into the PCA space fitted
+on the 194 CPU2017 pairs, and reports its nearest SPEC neighbours — i.e.
+which published results should transfer.
+"""
+
+import numpy as np
+
+from repro.core import Characterizer, SubsetSelector, feature_vector
+from repro.workloads import cpu2017
+from repro.workloads.profile import (
+    BranchBehavior,
+    BranchMix,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+
+GIB = 1024**3
+
+
+def kv_store_profile() -> WorkloadProfile:
+    """A latency-bound key-value store: heavy dependent loads, deep
+    pointer chases that thrash L2, moderate branching, ~4 GiB heap."""
+    return WorkloadProfile(
+        benchmark="900.kvstore",
+        input_name="",
+        suite=MiniSuite.RATE_INT,
+        input_size=InputSize.REF,
+        instructions=1500e9,
+        target_ipc=0.75,
+        exec_time_seconds=1100.0,
+        mix=InstructionMix(
+            load_fraction=0.31,
+            store_fraction=0.07,
+            branch_fraction=0.22,
+            branch_mix=BranchMix(0.74, 0.08, 0.08, 0.02, 0.08),
+        ),
+        memory=MemoryBehavior(
+            target_l1_miss_rate=0.11,
+            target_l2_miss_rate=0.60,
+            target_l3_miss_rate=0.33,
+            rss_bytes=4.0 * GIB,
+            vsz_bytes=4.6 * GIB,
+        ),
+        branches=BranchBehavior(target_mispredict_rate=0.045),
+    )
+
+
+def main() -> None:
+    suite = cpu2017()
+    characterizer = Characterizer()
+    selector = SubsetSelector(characterizer)
+
+    # Fit the PCA space on the full CPU2017 suite (194 pairs).
+    pca_result, labels = selector.pca(suite)
+    pca = selector.pca_model(suite)
+
+    # Characterize the custom workload through the identical pipeline.
+    custom = kv_store_profile()
+    report = characterizer.report(custom)
+    print("custom workload: %s" % custom.benchmark)
+    print("  IPC %.3f, %0.1f%% loads, %0.1f%% branches, "
+          "L2 miss %.1f%%, RSS %.1f GiB"
+          % (report.ipc, report.load_pct, report.branch_pct,
+             100 * report.miss_rate(2), report.rss_bytes / GIB))
+    print()
+
+    # Project into the suite's PC space and rank neighbours.
+    scores = pca.transform(feature_vector(report).reshape(1, -1))[0]
+    ref_rows = [i for i, label in enumerate(labels) if label.endswith("/ref")]
+    distances = sorted(
+        (float(np.linalg.norm(pca_result.scores[i] - scores)), labels[i])
+        for i in ref_rows
+    )
+
+    print("nearest SPEC CPU2017 neighbours in PC space:")
+    for distance, label in distances[:5]:
+        print("  %-28s d=%.3f" % (label.replace("/ref", ""), distance))
+    print()
+    print("farthest (least representative):")
+    for distance, label in distances[-3:]:
+        print("  %-28s d=%.3f" % (label.replace("/ref", ""), distance))
+    print()
+    nearest = distances[0][1].replace("/ref", "")
+    print("=> results published on %s are the best proxy for this"
+          " workload." % nearest)
+
+
+if __name__ == "__main__":
+    main()

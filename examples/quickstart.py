@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize SPEC CPU2017 applications.
+
+Runs three applications on the simulated Table-I machine (Haswell Xeon
+E5-2650L v3), prints their perf-style counters and derived metrics, and
+reproduces the paper's headline observation that 525.x264_r and 505.mcf_r
+sit at opposite ends of the IPC spectrum.
+"""
+
+from repro import InputSize, PerfSession, cpu2017
+
+
+def main() -> None:
+    suite = cpu2017()
+    session = PerfSession()  # Table-I configuration by default
+
+    print("SPEC CPU2017 registry: %d applications, %d application-input pairs"
+          % (len(suite), suite.pair_count()))
+    print()
+
+    for name in ("505.mcf_r", "525.x264_r", "541.leela_r"):
+        benchmark = suite.get(name)
+        profile = benchmark.profile(InputSize.REF)
+        report = session.run(profile)
+        m1, m2, m3 = report.miss_rates
+        print("%s — %s" % (benchmark.name, benchmark.description))
+        print("  IPC                 %8.3f" % report.ipc)
+        print("  loads / stores      %7.2f%% / %.2f%%"
+              % (report.load_pct, report.store_pct))
+        print("  branches            %7.2f%%" % report.branch_pct)
+        print("  L1/L2/L3 miss       %7.2f%% / %.2f%% / %.2f%%"
+              % (100 * m1, 100 * m2, 100 * m3))
+        print("  branch mispredicts  %7.2f%%" % (100 * report.mispredict_rate))
+        print("  RSS / VSZ           %7.3f / %.3f GiB"
+              % (report.rss_bytes / 2**30, report.vsz_bytes / 2**30))
+        print("  wall time           %7.1f s" % report.wall_time_seconds)
+        print()
+
+    x264 = session.run(suite.get("525.x264_r").profile(InputSize.REF))
+    mcf = session.run(suite.get("505.mcf_r").profile(InputSize.REF))
+    print("x264 achieves %.1fx the IPC of mcf — the paper's rate-int"
+          " extremes." % (x264.ipc / mcf.ipc))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Representative subsetting (the paper's Section V, end to end).
+
+Characterizes all 194 application-input pairs, projects them onto the
+leading principal components, hierarchically clusters the ref pairs of the
+rate and speed suites, picks the Pareto-optimal cluster count, and prints
+the suggested subset with its simulation-time saving — the reproduction of
+the paper's Table X workflow.
+"""
+
+from repro.core import Characterizer, SubsetSelector
+from repro.workloads import cpu2017
+
+
+def main() -> None:
+    suite = cpu2017()
+    characterizer = Characterizer()
+    selector = SubsetSelector(characterizer, n_components=4)
+
+    variance = selector.variance_captured(suite)
+    print("PCA: first 4 components capture %.1f%% of the variance of the"
+          " [194 x 20] characteristics matrix (paper: 76.3%%)."
+          % (100 * variance))
+    print()
+
+    for group in ("rate", "speed"):
+        result = selector.select(suite, group)
+        print("=== %s suites ===" % group)
+        print("chosen clusters: %d   (paper: %s)"
+              % (result.n_clusters, "12" if group == "rate" else "10"))
+        print("subset time:     %.1f s of %.1f s  ->  %.2f%% saving"
+              % (result.subset_time_seconds, result.full_time_seconds,
+                 result.saving_pct))
+        print("suggested subset:")
+        for pair_name in result.selected:
+            print("   %s" % pair_name.replace("/ref", ""))
+        print()
+
+        # The same clustering, cut at 3 clusters, reproduces the paper's
+        # illustration: pick one pair per cluster.
+        labels = result.clustering.labels(3)
+        print("with only 3 clusters, pick one pair from each of:")
+        for label in range(3):
+            members = [
+                result.pair_names[i].replace("/ref", "")
+                for i in range(len(labels)) if labels[i] == label
+            ]
+            preview = ", ".join(members[:4])
+            if len(members) > 4:
+                preview += ", ... (%d pairs)" % len(members)
+            print("   {%s}" % preview)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of "A Workload Characterization of the SPEC
+CPU2017 Benchmark Suite" (Limaye & Adegbija, ISPASS 2018).
+
+The package models the paper's full pipeline: statistical workload models
+of all 194 SPEC CPU2017 application-input pairs (plus SPEC CPU2006), a
+Haswell-like microarchitecture substrate, a perf-style counter layer, the
+characterization and suite-comparison analyses, and the PCA + hierarchical
+clustering redundancy study with Pareto-optimal subsetting.
+
+Quickstart::
+
+    import repro
+
+    suite = repro.cpu2017()
+    session = repro.PerfSession()
+    report = session.run(suite.get("505.mcf_r").profile(repro.InputSize.REF))
+    print(report.ipc, report.miss_rates)
+"""
+
+from .config import (
+    CacheConfig,
+    PipelineConfig,
+    SystemConfig,
+    get_config,
+    haswell_e5_2650l_v3,
+)
+from .errors import (
+    AnalysisError,
+    ClusteringError,
+    CollectionError,
+    ConfigError,
+    CounterError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    UnknownBenchmarkError,
+    WorkloadError,
+)
+from .perf import CounterReport, PerfSession
+from .workloads import (
+    BenchmarkSuite,
+    InputSize,
+    MiniSuite,
+    WorkloadProfile,
+    cpu2006,
+    cpu2017,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BenchmarkSuite",
+    "CacheConfig",
+    "ClusteringError",
+    "CollectionError",
+    "ConfigError",
+    "CounterError",
+    "CounterReport",
+    "ExperimentError",
+    "InputSize",
+    "MiniSuite",
+    "PerfSession",
+    "PipelineConfig",
+    "ReproError",
+    "SimulationError",
+    "SystemConfig",
+    "UnknownBenchmarkError",
+    "WorkloadError",
+    "WorkloadProfile",
+    "__version__",
+    "cpu2006",
+    "cpu2017",
+    "get_config",
+    "haswell_e5_2650l_v3",
+]

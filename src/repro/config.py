@@ -1,0 +1,283 @@
+"""System configuration models (paper Table I).
+
+The paper characterizes workloads on a dual-socket Intel Xeon E5-2650L v3
+(Haswell).  :func:`haswell_e5_2650l_v3` builds that exact configuration;
+everything in :mod:`repro.uarch` is parameterized by these dataclasses so the
+ablation benches can sweep cache sizes, associativity, predictors, and
+pipeline widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from .errors import ConfigError
+
+#: Cache line size used by every level on the paper's machine (bytes).
+DEFAULT_LINE_SIZE = 64
+
+#: Nominal core frequency of the E5-2650L v3 with Turbo Boost disabled (Hz).
+#: Back-derived from Table II (instructions / IPC / seconds ~= 1.77 GHz);
+#: the part's nameplate frequency is 1.8 GHz.
+DEFAULT_FREQUENCY_HZ = 1_800_000_000
+
+_VALID_REPLACEMENT = ("lru", "fifo", "random", "plru")
+_VALID_PREDICTORS = ("static", "bimodal", "gshare", "two_level", "tournament")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    Attributes:
+        name: Human-readable level name, e.g. ``"L1D"``.
+        size_bytes: Total capacity in bytes.
+        associativity: Number of ways per set.
+        line_size: Cache line size in bytes.
+        hit_latency: Access latency in cycles on a hit.
+        miss_penalty: Additional cycles charged when this level misses and
+            the request must go one level further out.
+        replacement: Replacement policy name (one of lru/fifo/random/plru).
+        shared: True if the cache is shared by all cores on the socket.
+        write_allocate: If True (the Haswell behavior), store misses fill
+            the cache; if False, store misses bypass it (write-around).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = DEFAULT_LINE_SIZE
+    hit_latency: int = 4
+    miss_penalty: int = 10
+    replacement: str = "lru"
+    shared: bool = False
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigError("%s: size_bytes must be positive" % self.name)
+        if self.associativity <= 0:
+            raise ConfigError("%s: associativity must be positive" % self.name)
+        if not _is_power_of_two(self.line_size):
+            raise ConfigError("%s: line_size must be a power of two" % self.name)
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                "%s: size (%d) must be divisible by line_size*associativity (%d)"
+                % (self.name, self.size_bytes, self.line_size * self.associativity)
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigError("%s: number of sets must be a power of two" % self.name)
+        if self.replacement not in _VALID_REPLACEMENT:
+            raise ConfigError(
+                "%s: unknown replacement policy %r (valid: %s)"
+                % (self.name, self.replacement, ", ".join(_VALID_REPLACEMENT))
+            )
+        if self.hit_latency < 0 or self.miss_penalty < 0:
+            raise ConfigError("%s: latencies must be non-negative" % self.name)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.line_size * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+    def scaled(self, factor: float) -> "CacheConfig":
+        """Return a copy with capacity scaled by ``factor``.
+
+        Capacity is scaled by changing the number of sets (rounded to the
+        nearest power of two so the index function stays a bit mask).
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        target_sets = max(1, int(round(self.num_sets * factor)))
+        # Round to the nearest power of two.
+        lower = 1 << (target_sets.bit_length() - 1)
+        upper = lower * 2
+        sets = lower if (target_sets - lower) <= (upper - target_sets) else upper
+        return replace(
+            self, size_bytes=sets * self.line_size * self.associativity
+        )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Parameters of the interval-analysis IPC model.
+
+    The model charges a base dispatch cost per micro-op plus per-event
+    penalties for cache misses and branch mispredicts, mirroring classic
+    interval analysis (Eyerman et al.).
+    """
+
+    dispatch_width: int = 4
+    #: Penalty in cycles for a branch mispredict (front-end refill).
+    mispredict_penalty: int = 15
+    #: Cycles to reach L2 / L3 / DRAM on a demand load miss.
+    l2_latency: int = 12
+    l3_latency: int = 36
+    dram_latency: int = 210
+    #: Fraction of a long-latency miss hidden by out-of-order overlap
+    #: (memory-level parallelism).  0 = fully exposed, 1 = fully hidden.
+    mlp_overlap: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.dispatch_width <= 0:
+            raise ConfigError("dispatch_width must be positive")
+        if not 0.0 <= self.mlp_overlap < 1.0:
+            raise ConfigError("mlp_overlap must be in [0, 1)")
+        for attr in ("mispredict_penalty", "l2_latency", "l3_latency", "dram_latency"):
+            if getattr(self, attr) < 0:
+                raise ConfigError("%s must be non-negative" % attr)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full system model configuration (paper Table I).
+
+    Attributes:
+        name: Configuration label used in reports.
+        frequency_hz: Core clock with Turbo Boost disabled.
+        sockets: Number of processor sockets.
+        cores_per_socket: Physical cores per socket.
+        threads_per_core: SMT threads per core.
+        memory_bytes: Main memory capacity.
+        l1i/l1d/l2/l3: Per-level cache configuration.
+        pipeline: Interval-analysis pipeline parameters.
+        branch_predictor: Predictor family used by the core model.
+        os_name / kernel / compiler: Recorded for Table I fidelity only.
+    """
+
+    name: str = "haswell-e5-2650l-v3"
+    frequency_hz: int = DEFAULT_FREQUENCY_HZ
+    sockets: int = 2
+    cores_per_socket: int = 12
+    threads_per_core: int = 2
+    memory_bytes: int = 64 * 1024**3
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L1I", 32 * 1024, 8, hit_latency=1, miss_penalty=8
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L1D", 32 * 1024, 8, hit_latency=4, miss_penalty=8
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L2", 256 * 1024, 8, hit_latency=12, miss_penalty=24
+        )
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L3", 30 * 1024 * 1024, 15, hit_latency=36, miss_penalty=174, shared=True
+        )
+    )
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    branch_predictor: str = "tournament"
+    os_name: str = "Red Hat Enterprise Linux server v7.4"
+    kernel: str = "3.10.0-514.26.2.el7.x86_64"
+    compiler: str = "gcc 4.8.5"
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency_hz must be positive")
+        if self.sockets <= 0 or self.cores_per_socket <= 0 or self.threads_per_core <= 0:
+            raise ConfigError("socket/core/thread counts must be positive")
+        if self.memory_bytes <= 0:
+            raise ConfigError("memory_bytes must be positive")
+        if self.branch_predictor not in _VALID_PREDICTORS:
+            raise ConfigError(
+                "unknown branch predictor %r (valid: %s)"
+                % (self.branch_predictor, ", ".join(_VALID_PREDICTORS))
+            )
+        line_sizes = {c.line_size for c in self.cache_levels()}
+        if len(line_sizes) != 1:
+            raise ConfigError("all cache levels must share one line size")
+
+    def cache_levels(self) -> Tuple[CacheConfig, ...]:
+        """The data-path cache levels from innermost to outermost."""
+        return (self.l1d, self.l2, self.l3)
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_cores * self.threads_per_core
+
+    def with_l3_scaled(self, factor: float) -> "SystemConfig":
+        """Return a copy with the L3 capacity scaled (for ablations)."""
+        return replace(self, l3=self.l3.scaled(factor))
+
+    def with_predictor(self, predictor: str) -> "SystemConfig":
+        """Return a copy using a different branch predictor family."""
+        return replace(self, branch_predictor=predictor)
+
+    def table1_rows(self) -> List[Tuple[str, str]]:
+        """Render this configuration as the rows of the paper's Table I."""
+
+        def _size(num_bytes: int) -> str:
+            if num_bytes >= 1024**3:
+                return "%d GB" % (num_bytes // 1024**3)
+            if num_bytes >= 1024**2:
+                return "%d MB" % (num_bytes // 1024**2)
+            return "%d kB" % (num_bytes // 1024)
+
+        def _cache(cfg: CacheConfig) -> str:
+            return "%d-way set associative %s (per core)" % (
+                cfg.associativity,
+                _size(cfg.size_bytes),
+            )
+
+        return [
+            (
+                "Processors",
+                "Intel Xeon E5-2650L v3 - Dual socket x86_64 Haswell; "
+                "%d cores (%d threads) per processor @ %.1f GHz"
+                % (
+                    self.cores_per_socket,
+                    self.cores_per_socket * self.threads_per_core,
+                    self.frequency_hz / 1e9,
+                ),
+            ),
+            ("Memory", "%s DDR4" % _size(self.memory_bytes)),
+            ("L1 I Cache", _cache(self.l1i)),
+            ("L1 D Cache", _cache(self.l1d)),
+            ("L2 Cache", _cache(self.l2)),
+            (
+                "L3 Cache",
+                "%s shared by all cores (per processor)" % _size(self.l3.size_bytes),
+            ),
+            ("OS", "%s; Linux kernel: %s; %s" % (self.os_name, self.kernel, self.compiler)),
+        ]
+
+
+def haswell_e5_2650l_v3() -> SystemConfig:
+    """The experimental system of the paper's Table I."""
+    return SystemConfig()
+
+
+#: Registry of named configurations for the CLI and benches.
+NAMED_CONFIGS: Dict[str, SystemConfig] = {
+    "haswell": haswell_e5_2650l_v3(),
+}
+
+
+def get_config(name: str = "haswell") -> SystemConfig:
+    """Look up a named system configuration."""
+    try:
+        return NAMED_CONFIGS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown config %r (valid: %s)" % (name, ", ".join(sorted(NAMED_CONFIGS)))
+        ) from None

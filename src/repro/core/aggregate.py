@@ -1,0 +1,85 @@
+"""Mini-suite x input-size aggregation (paper Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..workloads.profile import InputSize, MiniSuite
+from .metrics import PairMetrics
+
+#: Mini-suite display order of Table II.
+TABLE2_SUITES: Tuple[MiniSuite, ...] = (
+    MiniSuite.RATE_INT,
+    MiniSuite.RATE_FP,
+    MiniSuite.SPEED_INT,
+    MiniSuite.SPEED_FP,
+)
+
+
+@dataclass(frozen=True)
+class SuiteSizeSummary:
+    """Average execution characteristics of one (mini-suite, size) cell."""
+
+    suite: MiniSuite
+    input_size: InputSize
+    n_applications: int
+    instructions_e9: float
+    ipc: float
+    time_seconds: float
+
+
+def _application_means(metrics: Sequence[PairMetrics]) -> List[PairMetrics]:
+    """Group pairs by application and average multi-input applications,
+    matching the paper's 'average values across all the inputs'."""
+    grouped: Dict[str, List[PairMetrics]] = {}
+    for metric in metrics:
+        grouped.setdefault(metric.benchmark, []).append(metric)
+    means = []
+    for name in sorted(grouped):
+        group = grouped[name]
+        n = len(group)
+        means.append(
+            (
+                name,
+                sum(m.instructions_e9 for m in group) / n,
+                sum(m.ipc for m in group) / n,
+                sum(m.time_seconds for m in group) / n,
+            )
+        )
+    return means
+
+
+def summarize_by_suite_and_size(
+    metrics: Sequence[PairMetrics],
+) -> List[SuiteSizeSummary]:
+    """Build Table II: per mini-suite, per input size averages.
+
+    ``metrics`` must cover all sizes (characterize with ``size=None``).
+    """
+    if not metrics:
+        raise AnalysisError("no metrics to summarize")
+    cells: Dict[Tuple[MiniSuite, InputSize], List[PairMetrics]] = {}
+    for metric in metrics:
+        cells.setdefault((metric.suite, metric.input_size), []).append(metric)
+
+    summaries: List[SuiteSizeSummary] = []
+    for suite in TABLE2_SUITES:
+        for size in (InputSize.TEST, InputSize.TRAIN, InputSize.REF):
+            group = cells.get((suite, size))
+            if not group:
+                continue
+            apps = _application_means(group)
+            n = len(apps)
+            summaries.append(
+                SuiteSizeSummary(
+                    suite=suite,
+                    input_size=size,
+                    n_applications=n,
+                    instructions_e9=sum(a[1] for a in apps) / n,
+                    ipc=sum(a[2] for a in apps) / n,
+                    time_seconds=sum(a[3] for a in apps) / n,
+                )
+            )
+    return summaries

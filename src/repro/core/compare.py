@@ -1,0 +1,118 @@
+"""CPU2017 vs CPU2006 suite comparison (paper Tables III-VII).
+
+Each comparison metric is summarized as mean and (sample) standard
+deviation over applications, split into int / fp / all — the exact shape of
+the paper's comparison tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .metrics import PairMetrics
+
+#: Metric extractors available to the comparison, in paper units.
+COMPARISON_METRICS: Dict[str, Callable[[PairMetrics], float]] = {
+    "ipc": lambda m: m.ipc,
+    "load_pct": lambda m: m.load_pct,
+    "store_pct": lambda m: m.store_pct,
+    "branch_pct": lambda m: m.branch_pct,
+    "l1_miss_pct": lambda m: m.l1_miss_pct,
+    "l2_miss_pct": lambda m: m.l2_miss_pct,
+    "l3_miss_pct": lambda m: m.l3_miss_pct,
+    "mispredict_pct": lambda m: m.mispredict_pct,
+    "rss_gib": lambda m: m.rss_gib,
+    "vsz_gib": lambda m: m.vsz_gib,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Mean/std of one metric over one population of applications."""
+
+    label: str
+    n: int
+    mean: float
+    std: float
+
+
+@dataclass(frozen=True)
+class SuiteComparison:
+    """One metric compared across both suites, split int/fp/all."""
+
+    metric: str
+    rows: Tuple[ComparisonRow, ...]
+
+    def row(self, label: str) -> ComparisonRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise AnalysisError("no comparison row %r" % label)
+
+    def delta(self, population: str = "all") -> float:
+        """CPU17 mean minus CPU06 mean for one population."""
+        return (
+            self.row("CPU17 %s" % population).mean
+            - self.row("CPU06 %s" % population).mean
+        )
+
+    def ratio(self, population: str = "all") -> float:
+        """CPU17 mean over CPU06 mean for one population."""
+        base = self.row("CPU06 %s" % population).mean
+        if base == 0:
+            raise AnalysisError("CPU06 mean is zero; ratio undefined")
+        return self.row("CPU17 %s" % population).mean / base
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    n = len(values)
+    if n == 0:
+        raise AnalysisError("empty population")
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance)
+
+
+def compare_suites(
+    cpu17_metrics: Sequence[PairMetrics],
+    cpu06_metrics: Sequence[PairMetrics],
+    metric: str,
+) -> SuiteComparison:
+    """Build one of the paper's comparison tables for a metric.
+
+    Both metric lists should be per-application (multi-input applications
+    averaged first, as the paper does); use
+    :meth:`~repro.core.characterize.Characterizer.benchmark_means`.
+    """
+    try:
+        extract = COMPARISON_METRICS[metric]
+    except KeyError:
+        raise AnalysisError(
+            "unknown comparison metric %r (valid: %s)"
+            % (metric, ", ".join(sorted(COMPARISON_METRICS)))
+        ) from None
+
+    def split(metrics: Sequence[PairMetrics]) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {"int": [], "fp": [], "all": []}
+        for m in metrics:
+            value = extract(m)
+            out["int" if m.is_integer else "fp"].append(value)
+            out["all"].append(value)
+        return out
+
+    populations17 = split(cpu17_metrics)
+    populations06 = split(cpu06_metrics)
+    rows: List[ComparisonRow] = []
+    for population in ("int", "fp", "all"):
+        for label, values in (
+            ("CPU06 %s" % population, populations06[population]),
+            ("CPU17 %s" % population, populations17[population]),
+        ):
+            mean, std = _mean_std(values)
+            rows.append(ComparisonRow(label=label, n=len(values), mean=mean, std=std))
+    return SuiteComparison(metric=metric, rows=tuple(rows))

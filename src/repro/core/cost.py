@@ -1,0 +1,97 @@
+"""Simulation-cost projection (the paper's motivation, quantified).
+
+The paper motivates subsetting with simulator cost: native runs take ~11
+hours, and "microarchitecture research usually employs simulators, like
+GEM5, which are typically significantly slower" — commonly cited as a
+10,000x-plus slowdown for detailed out-of-order models.  This module
+projects detailed-simulation cost for the full suite, for the suggested
+subset, and for the subset combined with phase-based simulation points,
+making the methodology's payoff concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .subset import SubsetResult
+
+#: Detailed out-of-order simulator slowdown vs native (gem5-class).
+DEFAULT_SLOWDOWN = 10_000.0
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CostLine:
+    """One strategy's projected simulation cost."""
+
+    strategy: str
+    native_seconds: float
+    simulated_seconds: float
+
+    @property
+    def simulated_hours(self) -> float:
+        return self.simulated_seconds / SECONDS_PER_HOUR
+
+    @property
+    def simulated_days(self) -> float:
+        return self.simulated_hours / 24.0
+
+
+@dataclass(frozen=True)
+class CostProjection:
+    """Projected costs for a set of strategies, cheapest last."""
+
+    slowdown: float
+    lines: List[CostLine]
+
+    def line(self, strategy: str) -> CostLine:
+        for entry in self.lines:
+            if entry.strategy == strategy:
+                return entry
+        raise AnalysisError("no cost line %r" % strategy)
+
+    def speedup(self, strategy: str, baseline: str = "full suite") -> float:
+        base = self.line(baseline).simulated_seconds
+        other = self.line(strategy).simulated_seconds
+        if other <= 0:
+            raise AnalysisError("strategy %r has zero cost" % strategy)
+        return base / other
+
+
+def project_costs(
+    subsets: Sequence[SubsetResult],
+    slowdown: float = DEFAULT_SLOWDOWN,
+    phase_fraction: Optional[float] = None,
+) -> CostProjection:
+    """Project detailed-simulation costs.
+
+    Args:
+        subsets: Subset results whose groups to combine (e.g. rate+speed).
+        slowdown: Simulator slowdown factor vs native execution.
+        phase_fraction: If given, the fraction of each representative's
+            run that phase-based simulation points retain (e.g. 0.07 from
+            the phase-analysis example); adds a third strategy line.
+    """
+    if not subsets:
+        raise AnalysisError("need at least one subset result")
+    if slowdown <= 0:
+        raise AnalysisError("slowdown must be positive")
+    if phase_fraction is not None and not 0.0 < phase_fraction <= 1.0:
+        raise AnalysisError("phase_fraction must be in (0, 1]")
+
+    full_native = sum(result.full_time_seconds for result in subsets)
+    subset_native = sum(result.subset_time_seconds for result in subsets)
+
+    lines = [
+        CostLine("full suite", full_native, full_native * slowdown),
+        CostLine("suggested subset", subset_native, subset_native * slowdown),
+    ]
+    if phase_fraction is not None:
+        phased = subset_native * phase_fraction
+        lines.append(
+            CostLine("subset + simulation points", phased, phased * slowdown)
+        )
+    return CostProjection(slowdown=slowdown, lines=lines)

@@ -1,0 +1,84 @@
+"""The 20 microarchitecture-independent PCA characteristics (Table VIII).
+
+Order and naming follow the paper's Table VIII: raw counter totals for
+instructions, memory micro-ops and branch subtypes; the derived mix
+percentages; and the two footprint metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..perf import counters as C
+from ..perf.report import CounterReport
+
+#: Feature names in Table VIII order.
+FEATURE_NAMES: Tuple[str, ...] = (
+    C.INST_RETIRED,
+    C.MEM_LOADS,
+    C.MEM_STORES,
+    "load_uops(%)",
+    "store_uops(%)",
+    "total_mem_uops(%)",
+    C.BR_ALL,
+    "branch_inst(%)",
+    C.BR_CONDITIONAL,
+    C.BR_DIRECT_JMP,
+    C.BR_DIRECT_NEAR_CALL,
+    C.BR_INDIRECT_JUMP,
+    C.BR_INDIRECT_NEAR_RETURN,
+    "branch_conditional(%)",
+    "branch_direct_jump(%)",
+    "branch_near_call(%)",
+    "branch_indirect_jump_non_call_ret(%)",
+    "branch_indirect_near_return(%)",
+    "rss",
+    "vsz",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def feature_vector(report: CounterReport) -> np.ndarray:
+    """Extract the 20-characteristic vector of one pair."""
+    subtype_pct = report.branch_subtype_pct()
+    values = [
+        report[C.INST_RETIRED],
+        report[C.MEM_LOADS],
+        report[C.MEM_STORES],
+        report.load_pct,
+        report.store_pct,
+        report.memory_pct,
+        report[C.BR_ALL],
+        report.branch_pct,
+        report[C.BR_CONDITIONAL],
+        report[C.BR_DIRECT_JMP],
+        report[C.BR_DIRECT_NEAR_CALL],
+        report[C.BR_INDIRECT_JUMP],
+        report[C.BR_INDIRECT_NEAR_RETURN],
+        subtype_pct[0],
+        subtype_pct[1],
+        subtype_pct[2],
+        subtype_pct[3],
+        subtype_pct[4],
+        report.rss_bytes,
+        report.vsz_bytes,
+    ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def feature_matrix(
+    reports: Sequence[CounterReport],
+) -> Tuple[np.ndarray, List[str]]:
+    """Stack pairs into the paper's [n_pairs x 20] matrix.
+
+    Returns the matrix and the pair names (row labels), in input order.
+    """
+    if not reports:
+        raise AnalysisError("no reports to build a feature matrix from")
+    matrix = np.vstack([feature_vector(report) for report in reports])
+    labels = [report.profile.pair_name for report in reports]
+    return matrix, labels

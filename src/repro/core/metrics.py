@@ -1,0 +1,93 @@
+"""Per-pair derived metrics.
+
+:class:`PairMetrics` is the analysis-facing view of one application-input
+pair's counter report: everything the paper plots or tabulates, in the
+paper's units (percentages as percents, footprints in bytes, time in
+seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..perf.report import CounterReport
+from ..workloads.profile import InputSize, MiniSuite, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class PairMetrics:
+    """Derived characterization metrics of one application-input pair."""
+
+    pair_name: str
+    benchmark: str
+    input_name: str
+    suite: MiniSuite
+    input_size: InputSize
+    instructions: float
+    ipc: float
+    time_seconds: float
+    load_pct: float
+    store_pct: float
+    branch_pct: float
+    branch_subtype_pct: Tuple[float, float, float, float, float]
+    l1_miss_pct: float
+    l2_miss_pct: float
+    l3_miss_pct: float
+    mispredict_pct: float
+    rss_bytes: float
+    vsz_bytes: float
+    collection_error: bool
+
+    @classmethod
+    def from_report(cls, report: CounterReport) -> "PairMetrics":
+        """Derive metrics from one counter report."""
+        profile = report.profile
+        m1, m2, m3 = report.miss_rates
+        return cls(
+            pair_name=profile.pair_name,
+            benchmark=profile.benchmark,
+            input_name=profile.input_name,
+            suite=profile.suite,
+            input_size=profile.input_size,
+            instructions=report.instructions,
+            ipc=report.ipc,
+            time_seconds=report.wall_time_seconds,
+            load_pct=report.load_pct,
+            store_pct=report.store_pct,
+            branch_pct=report.branch_pct,
+            branch_subtype_pct=report.branch_subtype_pct(),
+            l1_miss_pct=100.0 * m1,
+            l2_miss_pct=100.0 * m2,
+            l3_miss_pct=100.0 * m3,
+            mispredict_pct=100.0 * report.mispredict_rate,
+            rss_bytes=report.rss_bytes,
+            vsz_bytes=report.vsz_bytes,
+            collection_error=profile.collection_error,
+        )
+
+    @property
+    def memory_pct(self) -> float:
+        """Combined load+store micro-op percentage."""
+        return self.load_pct + self.store_pct
+
+    @property
+    def instructions_e9(self) -> float:
+        """Instruction count in billions (the paper's tabulated unit)."""
+        return self.instructions / 1e9
+
+    @property
+    def rss_gib(self) -> float:
+        return self.rss_bytes / 1024**3
+
+    @property
+    def vsz_gib(self) -> float:
+        return self.vsz_bytes / 1024**3
+
+    @property
+    def is_integer(self) -> bool:
+        return self.suite.is_integer
+
+    @property
+    def is_speed(self) -> bool:
+        return self.suite.is_speed

@@ -1,0 +1,95 @@
+"""Input-size representativeness analysis (extension beyond the paper).
+
+The paper notes that "the choice of application-input pairs is often
+arbitrary" and characterizes test/train/ref separately (Table II), but
+never quantifies whether a *smaller input* can stand in for ref.  This
+module does: it places each application's per-size characterization in the
+suite's PC space and measures how far the test and train positions sit
+from the ref position.  Applications with small distances can be studied
+on cheap inputs; large distances flag inputs that would mislead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..workloads.profile import InputSize
+from ..workloads.suite import BenchmarkSuite
+from .subset import SubsetSelector
+
+
+@dataclass(frozen=True)
+class SizeSimilarity:
+    """Distances of one application's smaller inputs from its ref position
+    in the suite's PC space (application-mean positions per size)."""
+
+    benchmark: str
+    test_distance: float
+    train_distance: float
+
+    @property
+    def train_is_closer(self) -> bool:
+        return self.train_distance <= self.test_distance
+
+
+def input_size_similarity(
+    selector: SubsetSelector, suite: BenchmarkSuite
+) -> List[SizeSimilarity]:
+    """Measure per-application test->ref and train->ref PC distances.
+
+    The PCA is the one fitted on all pairs (all sizes), so positions are
+    comparable across sizes.
+    """
+    result, labels = selector.pca(suite)
+    index = {label: i for i, label in enumerate(labels)}
+
+    positions: Dict[str, Dict[InputSize, np.ndarray]] = {}
+    for pair in suite.pairs():
+        profile = pair.profile
+        row = index[profile.pair_name]
+        app = positions.setdefault(profile.benchmark, {})
+        app.setdefault(profile.input_size, []).append(result.scores[row])
+
+    similarities: List[SizeSimilarity] = []
+    for benchmark in sorted(positions):
+        sizes = positions[benchmark]
+        if any(size not in sizes for size in InputSize):
+            raise AnalysisError(
+                "%s is missing an input size" % benchmark
+            )
+        means = {
+            size: np.mean(np.asarray(sizes[size]), axis=0)
+            for size in InputSize
+        }
+        ref = means[InputSize.REF]
+        similarities.append(
+            SizeSimilarity(
+                benchmark=benchmark,
+                test_distance=float(np.linalg.norm(means[InputSize.TEST] - ref)),
+                train_distance=float(np.linalg.norm(means[InputSize.TRAIN] - ref)),
+            )
+        )
+    return similarities
+
+
+def summarize_size_similarity(
+    similarities: List[SizeSimilarity],
+) -> Dict[str, float]:
+    """Suite-level view: mean distances and the train-closer share."""
+    if not similarities:
+        raise AnalysisError("no similarities to summarize")
+    return {
+        "mean_test_distance": float(
+            np.mean([s.test_distance for s in similarities])
+        ),
+        "mean_train_distance": float(
+            np.mean([s.train_distance for s in similarities])
+        ),
+        "train_closer_fraction": float(
+            np.mean([s.train_is_closer for s in similarities])
+        ),
+    }

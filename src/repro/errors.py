@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still distinguishing failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid system or cache configuration was supplied."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile is malformed or internally inconsistent."""
+
+
+class UnknownBenchmarkError(WorkloadError):
+    """A benchmark, input, or suite name does not exist in the registry."""
+
+    def __init__(self, name: str, candidates: tuple = ()):
+        self.name = name
+        self.candidates = tuple(candidates)
+        hint = ""
+        if self.candidates:
+            hint = " (did you mean: %s?)" % ", ".join(self.candidates)
+        super().__init__("unknown benchmark or input: %r%s" % (name, hint))
+
+
+class SimulationError(ReproError):
+    """The microarchitecture simulation was driven with invalid inputs."""
+
+
+class CounterError(ReproError):
+    """An unknown or unreadable performance counter was requested."""
+
+
+class CollectionError(ReproError):
+    """Counter collection failed for an application-input pair.
+
+    Mirrors the perf failures the paper reports for 627.cam4_s (all input
+    sizes) and the ``test.pl`` test input of 500/600.perlbench.
+    """
+
+    def __init__(self, pair_name: str, reason: str):
+        self.pair_name = pair_name
+        self.reason = reason
+        super().__init__("counter collection failed for %s: %s" % (pair_name, reason))
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis was invoked on unusable data."""
+
+
+class ClusteringError(AnalysisError):
+    """Hierarchical clustering was asked for an impossible configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or its reproduction failed."""

@@ -1,0 +1,28 @@
+"""A perf-like counter layer over the simulated core.
+
+Exposes the exact counter flags the paper lists (Section III and Table
+VIII) as named counters: a :class:`PerfSession` runs one application-input
+pair on the configured system model and returns a :class:`CounterReport`
+whose values are scaled from the simulated sample to the pair's nominal
+instruction count.
+"""
+
+from .counters import (
+    ALL_COUNTERS,
+    BRANCH_COUNTERS,
+    CACHE_COUNTERS,
+    Counter,
+    describe,
+)
+from .report import CounterReport
+from .session import PerfSession
+
+__all__ = [
+    "ALL_COUNTERS",
+    "BRANCH_COUNTERS",
+    "CACHE_COUNTERS",
+    "Counter",
+    "CounterReport",
+    "PerfSession",
+    "describe",
+]

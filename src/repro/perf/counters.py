@@ -1,0 +1,107 @@
+"""Hardware-counter names used throughout the reproduction.
+
+These mirror the Linux ``perf`` event flags the paper instruments on the
+Haswell machine (Section III, Section IV, Table VIII), plus the two
+``ps``-derived pseudo-counters (RSS, VSZ) and wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import CounterError
+
+# Retirement / cycles.
+INST_RETIRED = "inst_retired.any"
+UOPS_RETIRED = "uops_retired.all"
+REF_CYCLES = "cpu_clk_unhalted.ref_tsc"
+
+# Memory micro-ops.
+MEM_LOADS = "mem_uops_retired.all_loads"
+MEM_STORES = "mem_uops_retired.all_stores"
+
+# Branch execution, by subtype.
+BR_ALL = "br_inst_exec.all_branches"
+BR_CONDITIONAL = "br_inst_exec.all_conditional"
+BR_DIRECT_JMP = "br_inst_exec.all_direct_jmp"
+BR_DIRECT_NEAR_CALL = "br_inst_exec.all_direct_near_call"
+BR_INDIRECT_JUMP = "br_inst_exec.all_indirect_jump_non_call_ret"
+BR_INDIRECT_NEAR_RETURN = "br_inst_exec.all_indirect_near_return"
+BR_MISP = "br_misp_exec.all_branches"
+
+# Cache load hits/misses per level.
+L1_HIT = "mem_load_uops_retired.l1_hit"
+L1_MISS = "mem_load_uops_retired.l1_miss"
+L2_HIT = "mem_load_uops_retired.l2_hit"
+L2_MISS = "mem_load_uops_retired.l2_miss"
+L3_HIT = "mem_load_uops_retired.l3_hit"
+L3_MISS = "mem_load_uops_retired.l3_miss"
+
+# ps-derived pseudo-counters and wall time.
+PS_RSS = "ps.rss"
+PS_VSZ = "ps.vsz"
+WALL_TIME = "wall_time.seconds"
+
+
+@dataclass(frozen=True)
+class Counter:
+    """Descriptor of one named counter."""
+
+    name: str
+    unit: str
+    description: str
+
+
+_DESCRIPTORS: Tuple[Counter, ...] = (
+    Counter(INST_RETIRED, "instructions", "Retired instructions"),
+    Counter(UOPS_RETIRED, "uops", "Retired micro-operations"),
+    Counter(REF_CYCLES, "cycles", "Reference (TSC-rate) unhalted cycles"),
+    Counter(MEM_LOADS, "uops", "Retired load micro-operations"),
+    Counter(MEM_STORES, "uops", "Retired store micro-operations"),
+    Counter(BR_ALL, "branches", "Executed branch instructions (all)"),
+    Counter(BR_CONDITIONAL, "branches", "Executed conditional branches"),
+    Counter(BR_DIRECT_JMP, "branches", "Executed direct jumps"),
+    Counter(BR_DIRECT_NEAR_CALL, "branches", "Executed direct near calls"),
+    Counter(BR_INDIRECT_JUMP, "branches",
+            "Executed indirect jumps (non call/return)"),
+    Counter(BR_INDIRECT_NEAR_RETURN, "branches",
+            "Executed indirect near returns"),
+    Counter(BR_MISP, "branches", "Mispredicted executed branches (all)"),
+    Counter(L1_HIT, "loads", "Retired loads that hit the L1D"),
+    Counter(L1_MISS, "loads", "Retired loads that missed the L1D"),
+    Counter(L2_HIT, "loads", "Retired loads that hit the L2"),
+    Counter(L2_MISS, "loads", "Retired loads that missed the L2"),
+    Counter(L3_HIT, "loads", "Retired loads that hit the L3"),
+    Counter(L3_MISS, "loads", "Retired loads that missed the L3"),
+    Counter(PS_RSS, "bytes", "Maximum resident set size (ps -o rss)"),
+    Counter(PS_VSZ, "bytes", "Maximum virtual set size (ps -o vsz)"),
+    Counter(WALL_TIME, "seconds", "Wall-clock execution time"),
+)
+
+#: Registry of every counter this layer produces.
+ALL_COUNTERS: Dict[str, Counter] = {c.name: c for c in _DESCRIPTORS}
+
+#: The branch-subtype counters in BranchMix order.
+BRANCH_COUNTERS: Tuple[str, ...] = (
+    BR_CONDITIONAL,
+    BR_DIRECT_JMP,
+    BR_DIRECT_NEAR_CALL,
+    BR_INDIRECT_JUMP,
+    BR_INDIRECT_NEAR_RETURN,
+)
+
+#: Per-level (hit, miss) cache counters, innermost first.
+CACHE_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    (L1_HIT, L1_MISS),
+    (L2_HIT, L2_MISS),
+    (L3_HIT, L3_MISS),
+)
+
+
+def describe(name: str) -> Counter:
+    """Look up a counter descriptor by name."""
+    try:
+        return ALL_COUNTERS[name]
+    except KeyError:
+        raise CounterError("unknown counter %r" % name) from None

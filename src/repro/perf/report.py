@@ -1,0 +1,113 @@
+"""Counter reports: the output of one perf session."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from ..errors import CounterError
+from ..workloads.profile import WorkloadProfile
+from . import counters as C
+
+
+class CounterReport(Mapping):
+    """Immutable mapping of counter name -> value for one pair's run.
+
+    Also exposes the derived metrics the paper works with (IPC, mix
+    percentages, per-level miss rates, mispredict rate) as properties so
+    downstream analysis never re-derives them inconsistently.
+    """
+
+    def __init__(self, profile: WorkloadProfile, values: Dict[str, float]):
+        unknown = set(values) - set(C.ALL_COUNTERS)
+        if unknown:
+            raise CounterError("unknown counters in report: %s" % sorted(unknown))
+        self.profile = profile
+        self._values = dict(values)
+
+    # -- Mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise CounterError(
+                "counter %r was not collected for %s"
+                % (name, self.profile.pair_name)
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CounterReport(%s, %d counters)" % (
+            self.profile.pair_name, len(self._values)
+        )
+
+    # -- derived metrics ------------------------------------------------------
+    @property
+    def instructions(self) -> float:
+        return self[C.INST_RETIRED]
+
+    @property
+    def cycles(self) -> float:
+        return self[C.REF_CYCLES]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles
+
+    @property
+    def wall_time_seconds(self) -> float:
+        return self[C.WALL_TIME]
+
+    @property
+    def load_pct(self) -> float:
+        return 100.0 * self[C.MEM_LOADS] / self[C.UOPS_RETIRED]
+
+    @property
+    def store_pct(self) -> float:
+        return 100.0 * self[C.MEM_STORES] / self[C.UOPS_RETIRED]
+
+    @property
+    def memory_pct(self) -> float:
+        return self.load_pct + self.store_pct
+
+    @property
+    def branch_pct(self) -> float:
+        return 100.0 * self[C.BR_ALL] / self[C.UOPS_RETIRED]
+
+    def branch_subtype_pct(self) -> Tuple[float, float, float, float, float]:
+        """Branch subtypes as percentages of all branches."""
+        total = self[C.BR_ALL]
+        if total == 0:
+            return (0.0,) * 5
+        return tuple(100.0 * self[name] / total for name in C.BRANCH_COUNTERS)
+
+    def miss_rate(self, level: int) -> float:
+        """Load miss rate of cache level 1, 2, or 3 (fraction)."""
+        try:
+            hit_name, miss_name = C.CACHE_COUNTERS[level - 1]
+        except IndexError:
+            raise CounterError("no cache level %d" % level) from None
+        hits, misses = self[hit_name], self[miss_name]
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    @property
+    def miss_rates(self) -> Tuple[float, float, float]:
+        return (self.miss_rate(1), self.miss_rate(2), self.miss_rate(3))
+
+    @property
+    def mispredict_rate(self) -> float:
+        branches = self[C.BR_ALL]
+        return self[C.BR_MISP] / branches if branches else 0.0
+
+    @property
+    def rss_bytes(self) -> float:
+        return self[C.PS_RSS]
+
+    @property
+    def vsz_bytes(self) -> float:
+        return self[C.PS_VSZ]

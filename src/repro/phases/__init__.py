@@ -1,0 +1,32 @@
+"""Phase-behavior analysis (the paper's stated future work).
+
+The paper closes by proposing to "explore [the applications'] phase
+behavior in order to identify the applications' simulation phases".  This
+package implements that program end to end, SimPoint-style:
+
+* :mod:`workload` — multi-phase workload models (a schedule of per-phase
+  behaviors over one application's run);
+* :mod:`generator` — phased synthetic traces with ground-truth labels;
+* :mod:`signature` — per-interval microarchitecture-independent signatures
+  (the analogue of SimPoint's basic-block vectors);
+* :mod:`detector` — k-means phase detection with BIC model selection,
+  simulation-point picking, and weighted whole-run estimation.
+"""
+
+from .workload import PhasedWorkload, Schedule, make_phases
+from .generator import PhasedTraceGenerator, slice_trace
+from .signature import interval_signatures, SIGNATURE_NAMES
+from .detector import PhaseAnalysis, PhaseDetector, estimate_from_simulation_points
+
+__all__ = [
+    "PhaseAnalysis",
+    "PhaseDetector",
+    "PhasedTraceGenerator",
+    "PhasedWorkload",
+    "SIGNATURE_NAMES",
+    "Schedule",
+    "estimate_from_simulation_points",
+    "interval_signatures",
+    "make_phases",
+    "slice_trace",
+]

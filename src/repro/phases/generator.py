@@ -1,0 +1,89 @@
+"""Phased trace generation and trace slicing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..workloads.generator import SyntheticTrace, TraceGenerator
+from .workload import PhasedWorkload
+
+
+@dataclass(frozen=True)
+class PhasedTrace:
+    """A concatenated multi-phase trace plus its ground-truth labels."""
+
+    trace: SyntheticTrace
+    phase_of_op: np.ndarray        # int per micro-op
+    workload: PhasedWorkload
+
+    @property
+    def n_ops(self) -> int:
+        return self.trace.n_ops
+
+
+class PhasedTraceGenerator:
+    """Generates one trace per schedule segment and concatenates them.
+
+    Each segment draws from its phase's profile with a per-segment seed, so
+    the same phase revisited later produces statistically identical (but
+    not byte-identical) behavior — like a loop nest re-entered with
+    different data.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self._generator = TraceGenerator(config)
+
+    def generate(self, workload: PhasedWorkload) -> PhasedTrace:
+        pieces = []
+        labels = []
+        for index, (phase, ops) in enumerate(workload.schedule.segments):
+            profile = workload.phases[phase]
+            segment = self._generator.generate(
+                profile, n_ops=ops, seed=profile.seed("segment-%d" % index)
+            )
+            pieces.append(segment)
+            labels.append(np.full(ops, phase, dtype=np.int64))
+        first = pieces[0]
+        merged = SyntheticTrace(
+            profile=first.profile,
+            kind=np.concatenate([p.kind for p in pieces]),
+            addr=np.concatenate([p.addr for p in pieces]),
+            region=np.concatenate([p.region for p in pieces]),
+            btype=np.concatenate([p.btype for p in pieces]),
+            site=np.concatenate([p.site for p in pieces]),
+            taken=np.concatenate([p.taken for p in pieces]),
+            new_page=np.concatenate([p.new_page for p in pieces]),
+            pages_per_touch=first.pages_per_touch,
+            regions=first.regions,
+            knobs=first.knobs,
+            seed=first.seed,
+        )
+        return PhasedTrace(
+            trace=merged,
+            phase_of_op=np.concatenate(labels),
+            workload=workload,
+        )
+
+
+def slice_trace(trace: SyntheticTrace, start: int, stop: int) -> SyntheticTrace:
+    """A contiguous sub-trace (used to simulate one interval in isolation)."""
+    if not 0 <= start < stop <= trace.n_ops:
+        raise SimulationError(
+            "invalid slice [%d, %d) of a %d-op trace"
+            % (start, stop, trace.n_ops)
+        )
+    return dc_replace(
+        trace,
+        kind=trace.kind[start:stop],
+        addr=trace.addr[start:stop],
+        region=trace.region[start:stop],
+        btype=trace.btype[start:stop],
+        site=trace.site[start:stop],
+        taken=trace.taken[start:stop],
+        new_page=trace.new_page[start:stop],
+    )

@@ -1,0 +1,179 @@
+"""Multi-phase workload models.
+
+A :class:`PhasedWorkload` describes one application whose behavior moves
+through distinct *phases* (e.g. an input-parsing phase, a pointer-chasing
+solve phase, a streaming write-back phase), each modeled by its own
+:class:`~repro.workloads.profile.WorkloadProfile`, executed according to a
+:class:`Schedule` of fixed-length segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..workloads.profile import BranchBehavior, MemoryBehavior, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A sequence of (phase index, micro-op count) segments."""
+
+    segments: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise WorkloadError("a schedule needs at least one segment")
+        for phase, ops in self.segments:
+            if phase < 0:
+                raise WorkloadError("phase indices must be non-negative")
+            if ops <= 0:
+                raise WorkloadError("segment op counts must be positive")
+
+    @property
+    def total_ops(self) -> int:
+        return sum(ops for _, ops in self.segments)
+
+    @property
+    def n_phases(self) -> int:
+        return max(phase for phase, _ in self.segments) + 1
+
+    @classmethod
+    def round_robin(
+        cls, n_phases: int, segment_ops: int, n_segments: int
+    ) -> "Schedule":
+        """Cycle through the phases in order, ``n_segments`` times total."""
+        if n_phases <= 0 or segment_ops <= 0 or n_segments <= 0:
+            raise WorkloadError("round_robin arguments must be positive")
+        return cls(
+            tuple((i % n_phases, segment_ops) for i in range(n_segments))
+        )
+
+    @classmethod
+    def weighted(
+        cls, weights: Sequence[float], segment_ops: int, n_segments: int
+    ) -> "Schedule":
+        """Deterministically interleave phases proportional to weights
+        (largest-remainder quota scheduling)."""
+        if not weights or any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise WorkloadError("weights must be non-negative, not all zero")
+        total = float(sum(weights))
+        credit = [0.0] * len(weights)
+        segments: List[Tuple[int, int]] = []
+        for _ in range(n_segments):
+            for i, weight in enumerate(weights):
+                credit[i] += weight / total
+            phase = max(range(len(weights)), key=lambda i: credit[i])
+            credit[phase] -= 1.0
+            segments.append((phase, segment_ops))
+        return cls(tuple(segments))
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """One application with several behavioral phases."""
+
+    name: str
+    phases: Tuple[WorkloadProfile, ...]
+    schedule: Schedule
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError("a phased workload needs at least one phase")
+        if self.schedule.n_phases > len(self.phases):
+            raise WorkloadError(
+                "schedule references phase %d but only %d phases exist"
+                % (self.schedule.n_phases - 1, len(self.phases))
+            )
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def phase_of_op(self, op_index: int) -> int:
+        """Ground-truth phase index of one micro-op position."""
+        cursor = 0
+        for phase, ops in self.schedule.segments:
+            cursor += ops
+            if op_index < cursor:
+                return phase
+        raise WorkloadError(
+            "op index %d beyond schedule (%d ops)"
+            % (op_index, self.schedule.total_ops)
+        )
+
+
+def make_phases(base: WorkloadProfile, kinds: Sequence[str]) -> Tuple[WorkloadProfile, ...]:
+    """Derive distinct phase behaviors from one base profile.
+
+    Available kinds: ``"compute"`` (ALU-heavy, cache-friendly),
+    ``"memory"`` (load/store-heavy, cache-hostile), ``"branchy"``
+    (branch-heavy, hard to predict), ``"base"`` (unchanged).
+    """
+    phases: List[WorkloadProfile] = []
+    for kind in kinds:
+        if kind == "base":
+            phases.append(base)
+        elif kind == "compute":
+            phases.append(replace(
+                base,
+                target_ipc=min(3.5, base.target_ipc * 1.6),
+                mix=replace(
+                    base.mix,
+                    load_fraction=base.mix.load_fraction * 0.5,
+                    store_fraction=base.mix.store_fraction * 0.5,
+                    branch_fraction=base.mix.branch_fraction * 0.6,
+                ),
+                memory=replace(
+                    base.memory,
+                    target_l1_miss_rate=base.memory.target_l1_miss_rate * 0.2,
+                    target_l2_miss_rate=base.memory.target_l2_miss_rate * 0.5,
+                ),
+                branches=BranchBehavior(
+                    target_mispredict_rate=(
+                        base.branches.target_mispredict_rate * 0.3
+                    )
+                ),
+            ))
+        elif kind == "memory":
+            loads = min(0.45, base.mix.load_fraction * 1.5)
+            stores = min(0.2, base.mix.store_fraction * 1.5)
+            phases.append(replace(
+                base,
+                target_ipc=max(0.05, base.target_ipc * 0.45),
+                mix=replace(
+                    base.mix, load_fraction=loads, store_fraction=stores
+                ),
+                memory=MemoryBehavior(
+                    target_l1_miss_rate=min(
+                        0.6, base.memory.target_l1_miss_rate * 3 + 0.05
+                    ),
+                    target_l2_miss_rate=min(
+                        0.9, base.memory.target_l2_miss_rate * 1.5 + 0.1
+                    ),
+                    target_l3_miss_rate=min(
+                        0.9, base.memory.target_l3_miss_rate * 1.5 + 0.1
+                    ),
+                    rss_bytes=base.memory.rss_bytes,
+                    vsz_bytes=base.memory.vsz_bytes,
+                ),
+            ))
+        elif kind == "branchy":
+            branches = min(0.35, base.mix.branch_fraction * 2 + 0.05)
+            phases.append(replace(
+                base,
+                target_ipc=max(0.1, base.target_ipc * 0.7),
+                mix=replace(base.mix, branch_fraction=branches),
+                branches=BranchBehavior(
+                    target_mispredict_rate=min(
+                        0.2, base.branches.target_mispredict_rate * 3 + 0.03
+                    )
+                ),
+            ))
+        else:
+            raise WorkloadError(
+                "unknown phase kind %r (valid: base, compute, memory, "
+                "branchy)" % kind
+            )
+    return tuple(phases)

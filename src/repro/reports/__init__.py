@@ -1,0 +1,26 @@
+"""Reporting: tables, figures, and the experiment registry.
+
+Every table and figure of the paper's evaluation is an *experiment* with a
+stable id (``table1`` .. ``table10``, ``fig1`` .. ``fig10``) registered in
+:mod:`repro.reports.experiments`; running one returns an
+:class:`~repro.reports.experiments.ExperimentResult` carrying both the
+machine-readable data and a rendered text artifact.
+"""
+
+from .tables import format_table
+from .experiments import (
+    EXPERIMENT_IDS,
+    ExperimentContext,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "format_table",
+    "list_experiments",
+    "run_experiment",
+]

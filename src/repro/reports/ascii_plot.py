@@ -1,0 +1,114 @@
+"""Text renderings of the paper's figures (bar charts and scatter plots)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per label."""
+    if len(labels) != len(values):
+        raise ReproError("labels and values must have equal length")
+    if not labels:
+        raise ReproError("bar_chart needs at least one bar")
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            "%s | %s %.3f%s" % (label.ljust(label_width), bar, value, unit)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Several series per label, stacked as adjacent bars."""
+    if len(series) != len(series_names):
+        raise ReproError("series and series_names must match")
+    for one in series:
+        if len(one) != len(labels):
+            raise ReproError("every series must have one value per label")
+    if not labels:
+        raise ReproError("grouped_bar_chart needs at least one label")
+    peak = max((max(one) for one in series if len(one)), default=0.0)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label in labels)
+    name_width = max(len(name) for name in series_names)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for j, name in enumerate(series_names):
+            value = series[j][i]
+            bar = "#" * max(0, int(round(width * value / peak)))
+            prefix = label.ljust(label_width) if j == 0 else " " * label_width
+            lines.append(
+                "%s %s | %s %.3f%s"
+                % (prefix, name.ljust(name_width), bar, value, unit)
+            )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str = "",
+    width: int = 64,
+    height: int = 20,
+    markers: Optional[Sequence[str]] = None,
+) -> str:
+    """Character-grid scatter plot of one point set."""
+    if len(xs) != len(ys):
+        raise ReproError("xs and ys must have equal length")
+    if not xs:
+        raise ReproError("scatter_plot needs at least one point")
+    if markers is not None and len(markers) != len(xs):
+        raise ReproError("markers must have one entry per point")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(zip(xs, ys)):
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        marker = markers[index][0] if markers else "*"
+        grid[row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+  y: [%.3g, %.3g]" % (y_lo, y_hi))
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+  x: [%.3g, %.3g]" % (x_lo, x_hi))
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Scatter-style rendering of a curve (e.g. the SSE sweep)."""
+    return scatter_plot(xs, ys, title=title, width=width, height=height,
+                        markers=["o"] * len(xs))

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands::
+
+    repro list                      # list all experiments
+    repro run table2 fig7 ...       # run selected experiments
+    repro run all                   # run every table and figure
+    repro pair 505.mcf_r            # characterize one application (ref)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .. import __version__
+from ..errors import ReproError
+from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
+from ..workloads.profile import InputSize
+from ..workloads.spec2017 import cpu2017
+from .experiments import (
+    EXPERIMENT_IDS,
+    ExperimentContext,
+    list_experiments,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the SPEC CPU2017 workload "
+                    "characterization (ISPASS 2018)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--sample-ops",
+        type=int,
+        default=DEFAULT_SAMPLE_OPS,
+        help="simulated micro-ops per pair (default %(default)s)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids, or 'all'")
+    run.add_argument("--output", metavar="DIR", default=None,
+                     help="also write text + CSV artifacts to DIR")
+
+    pair = subparsers.add_parser("pair", help="characterize one application")
+    pair.add_argument("name", help="benchmark name, e.g. 505.mcf_r")
+    pair.add_argument("--size", default="ref", choices=["test", "train", "ref"])
+    pair.add_argument("--input", type=int, default=0, help="input index")
+
+    phases = subparsers.add_parser(
+        "phases",
+        help="detect phases in a phased variant of one application "
+             "(the paper's future work)",
+    )
+    phases.add_argument("name", help="benchmark name, e.g. 502.gcc_r")
+    phases.add_argument(
+        "--kinds", default="compute,memory,branchy",
+        help="comma-separated phase kinds (compute/memory/branchy/base)",
+    )
+    phases.add_argument("--segments", type=int, default=24,
+                        help="schedule segments (default %(default)s)")
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp_id, title in list_experiments():
+        print("%-8s %s" % (exp_id, title))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .export import export_result
+
+    wanted: List[str] = args.experiments
+    if wanted == ["all"]:
+        wanted = list(EXPERIMENT_IDS)
+    ctx = ExperimentContext(session=PerfSession(sample_ops=args.sample_ops))
+    for exp_id in wanted:
+        result = run_experiment(exp_id, ctx)
+        print(result)
+        print()
+        if args.output:
+            for path in export_result(result, args.output):
+                print("wrote %s" % path)
+            print()
+    return 0
+
+
+def _cmd_pair(args) -> int:
+    suite = cpu2017()
+    benchmark = suite.get(args.name)
+    profile = benchmark.profile(InputSize(args.size), args.input)
+    session = PerfSession(sample_ops=args.sample_ops)
+    report = session.run(profile)
+    print("pair: %s" % profile.pair_name)
+    print("  IPC               %.3f" % report.ipc)
+    print("  loads / stores    %.2f%% / %.2f%%" % (report.load_pct, report.store_pct))
+    print("  branches          %.2f%%" % report.branch_pct)
+    m1, m2, m3 = report.miss_rates
+    print("  L1/L2/L3 miss     %.2f%% / %.2f%% / %.2f%%"
+          % (100 * m1, 100 * m2, 100 * m3))
+    print("  mispredict rate   %.2f%%" % (100 * report.mispredict_rate))
+    print("  RSS / VSZ         %.3f / %.3f GiB"
+          % (report.rss_bytes / 2**30, report.vsz_bytes / 2**30))
+    print("  wall time         %.1f s" % report.wall_time_seconds)
+    return 0
+
+
+def _cmd_phases(args) -> int:
+    from ..config import haswell_e5_2650l_v3
+    from ..phases import (
+        PhaseDetector,
+        PhasedTraceGenerator,
+        PhasedWorkload,
+        Schedule,
+        estimate_from_simulation_points,
+        make_phases,
+    )
+    from ..uarch.core import SimulatedCore
+
+    config = haswell_e5_2650l_v3()
+    base = cpu2017().get(args.name).profile(InputSize.REF)
+    kinds = [kind.strip() for kind in args.kinds.split(",") if kind.strip()]
+    workload = PhasedWorkload(
+        "%s (phased)" % args.name,
+        make_phases(base, kinds),
+        Schedule.round_robin(len(kinds), 6_000, args.segments),
+    )
+    phased = PhasedTraceGenerator(config).generate(workload)
+    analysis = PhaseDetector(interval_ops=2_000).analyze(phased.trace)
+    core = SimulatedCore(config)
+    full = core.run(phased.trace)
+    estimate = estimate_from_simulation_points(core, phased.trace, analysis)
+    print("workload: %s (%d true phases, %d ops)"
+          % (workload.name, workload.n_phases, phased.n_ops))
+    print("detected phases: %d; weights: %s"
+          % (analysis.n_phases,
+             ", ".join("%.2f" % w for w in analysis.weights)))
+    print("full-run IPC %.3f vs simulation-point estimate %.3f "
+          "(%.1f%% of the trace simulated)"
+          % (full.ipc, estimate["ipc"],
+             100 * estimate["simulated_fraction"]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "pair":
+            return _cmd_pair(args)
+        if args.command == "phases":
+            return _cmd_phases(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

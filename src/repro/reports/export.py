@@ -1,0 +1,140 @@
+"""Persist experiment results to disk.
+
+Writes each experiment's rendered text plus machine-readable CSVs of its
+data series (figure panels, Table-II summaries, comparison rows), so
+downstream plotting tools can regenerate the paper's figures graphically.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional
+
+from ..core.aggregate import SuiteSizeSummary
+from ..core.compare import SuiteComparison
+from ..core.subset import SubsetResult
+from ..errors import ExperimentError
+from .experiments import (
+    EXPERIMENT_IDS,
+    ExperimentContext,
+    ExperimentResult,
+    run_experiment,
+)
+from .figures import FigureData
+
+
+def _safe_name(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in text)
+
+
+def _write_csv(path: str, headers: List[str], rows: List[List[object]]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def _export_figure(figure: FigureData, directory: str, exp_id: str) -> List[str]:
+    paths = []
+    for panel in figure.panels:
+        path = os.path.join(
+            directory, "%s_%s.csv" % (exp_id, _safe_name(panel.name))
+        )
+        series_names = list(panel.series)
+        n = max(len(values) for values in panel.series.values())
+        rows = []
+        for i in range(n):
+            label = panel.labels[i] if i < len(panel.labels) else ""
+            row = [label]
+            for name in series_names:
+                values = panel.series[name]
+                row.append(values[i] if i < len(values) else "")
+            rows.append(row)
+        _write_csv(path, ["label"] + series_names, rows)
+        paths.append(path)
+    return paths
+
+
+def _export_summaries(summaries, directory: str, exp_id: str) -> List[str]:
+    path = os.path.join(directory, "%s.csv" % exp_id)
+    rows = [
+        [s.suite.value, s.input_size.value, s.n_applications,
+         s.instructions_e9, s.ipc, s.time_seconds]
+        for s in summaries
+    ]
+    _write_csv(
+        path,
+        ["suite", "input_size", "n_applications", "instructions_e9",
+         "ipc", "time_seconds"],
+        rows,
+    )
+    return [path]
+
+
+def _export_comparisons(comparisons, directory: str, exp_id: str) -> List[str]:
+    path = os.path.join(directory, "%s.csv" % exp_id)
+    rows = []
+    for metric, comparison in comparisons.items():
+        for row in comparison.rows:
+            rows.append([metric, row.label, row.n, row.mean, row.std])
+    _write_csv(path, ["metric", "population", "n", "mean", "std"], rows)
+    return [path]
+
+
+def _export_subsets(data, directory: str, exp_id: str) -> List[str]:
+    path = os.path.join(directory, "%s.csv" % exp_id)
+    rows = []
+    for group in ("rate", "speed"):
+        result = data.get(group)
+        if isinstance(result, SubsetResult):
+            for pair in result.selected:
+                rows.append([
+                    group, result.n_clusters, pair,
+                    result.subset_time_seconds, result.saving_pct,
+                ])
+    _write_csv(
+        path,
+        ["group", "n_clusters", "pair", "subset_time_seconds", "saving_pct"],
+        rows,
+    )
+    return [path]
+
+
+def export_result(result: ExperimentResult, directory: str) -> List[str]:
+    """Write one experiment's artifacts; returns the created paths."""
+    os.makedirs(directory, exist_ok=True)
+    text_path = os.path.join(directory, "%s.txt" % result.exp_id)
+    with open(text_path, "w") as handle:
+        handle.write(str(result))
+        handle.write("\n")
+    paths = [text_path]
+
+    data = result.data
+    figure = data.get("figure")
+    if isinstance(figure, FigureData):
+        paths.extend(_export_figure(figure, directory, result.exp_id))
+    summaries = data.get("summaries")
+    if summaries and isinstance(summaries[0], SuiteSizeSummary):
+        paths.extend(_export_summaries(summaries, directory, result.exp_id))
+    comparisons = data.get("comparisons")
+    if comparisons and all(
+        isinstance(c, SuiteComparison) for c in comparisons.values()
+    ):
+        paths.extend(_export_comparisons(comparisons, directory, result.exp_id))
+    if isinstance(data.get("rate"), SubsetResult):
+        paths.extend(_export_subsets(data, directory, result.exp_id))
+    return paths
+
+
+def export_all(
+    directory: str, ctx: Optional[ExperimentContext] = None
+) -> List[str]:
+    """Regenerate and persist every registered experiment."""
+    if not directory:
+        raise ExperimentError("an output directory is required")
+    ctx = ctx or ExperimentContext()
+    paths: List[str] = []
+    for exp_id in EXPERIMENT_IDS:
+        paths.extend(export_result(run_experiment(exp_id, ctx), directory))
+    return paths

@@ -1,0 +1,258 @@
+"""Figure builders (paper Figs. 1-10).
+
+Each builder returns a :class:`FigureData`: the plotted series as plain
+data plus a text rendering, so benchmarks can check shapes and the CLI can
+show the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.metrics import PairMetrics
+from ..core.subset import SubsetResult
+from ..stats.factor import FactorLoadings
+from ..stats.pca import PCAResult
+from . import ascii_plot
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One sub-figure: labeled series plus its text rendering."""
+
+    name: str
+    labels: List[str]
+    series: Dict[str, List[float]]
+    text: str
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One complete figure."""
+
+    figure_id: str
+    title: str
+    panels: List[Panel] = field(default_factory=list)
+
+    def panel(self, name: str) -> Panel:
+        for panel in self.panels:
+            if panel.name == name:
+                return panel
+        raise KeyError("no panel %r in %s" % (name, self.figure_id))
+
+    @property
+    def text(self) -> str:
+        parts = ["%s: %s" % (self.figure_id, self.title)]
+        for panel in self.panels:
+            parts.append("")
+            parts.append("(%s)" % panel.name)
+            parts.append(panel.text)
+        return "\n".join(parts)
+
+
+def _short(metric: PairMetrics) -> str:
+    name = metric.benchmark.split(".", 1)[-1]
+    if metric.input_name:
+        name += "-" + metric.input_name
+    return name
+
+
+def _per_app_panel(
+    name: str,
+    metrics: Sequence[PairMetrics],
+    series_spec: Dict[str, str],
+    unit: str = "",
+) -> Panel:
+    """Build one rate/speed panel with one bar group per application."""
+    ordered = sorted(metrics, key=lambda m: (m.benchmark, m.input_name))
+    labels = [_short(m) for m in ordered]
+    series = {
+        series_name: [getattr(m, attr) for m in ordered]
+        for series_name, attr in series_spec.items()
+    }
+    if len(series) == 1:
+        (series_name, values), = series.items()
+        text = ascii_plot.bar_chart(labels, values, unit=unit)
+    else:
+        text = ascii_plot.grouped_bar_chart(
+            labels, list(series.values()), list(series), unit=unit
+        )
+    return Panel(name=name, labels=labels, series=series, text=text)
+
+
+def figure_ipc(rate: Sequence[PairMetrics], speed: Sequence[PairMetrics]) -> FigureData:
+    """Fig. 1: per-application IPC for the rate and speed mini-suites."""
+    return FigureData(
+        "fig1",
+        "Instructions per cycle",
+        [
+            _per_app_panel("rate", rate, {"ipc": "ipc"}),
+            _per_app_panel("speed", speed, {"ipc": "ipc"}),
+        ],
+    )
+
+
+def figure_memory_ops(rate, speed) -> FigureData:
+    """Fig. 2: breakdown of load/store micro-operations (%)."""
+    spec = {"loads": "load_pct", "stores": "store_pct"}
+    return FigureData(
+        "fig2",
+        "Memory micro-operation breakdown",
+        [
+            _per_app_panel("rate", rate, spec, unit="%"),
+            _per_app_panel("speed", speed, spec, unit="%"),
+        ],
+    )
+
+
+def figure_branches(rate, speed) -> FigureData:
+    """Fig. 3: branch-instruction percentage per application."""
+    spec = {"branches": "branch_pct"}
+    return FigureData(
+        "fig3",
+        "Branch characteristics",
+        [
+            _per_app_panel("rate", rate, spec, unit="%"),
+            _per_app_panel("speed", speed, spec, unit="%"),
+        ],
+    )
+
+
+def figure_footprint(rate, speed) -> FigureData:
+    """Fig. 4: memory footprint (RSS and VSZ, GiB)."""
+    spec = {"rss": "rss_gib", "vsz": "vsz_gib"}
+    return FigureData(
+        "fig4",
+        "Memory footprint",
+        [
+            _per_app_panel("rate", rate, spec, unit=" GiB"),
+            _per_app_panel("speed", speed, spec, unit=" GiB"),
+        ],
+    )
+
+
+def figure_cache(rate, speed) -> FigureData:
+    """Fig. 5: L1/L2/L3 load miss rates (%)."""
+    spec = {"l1": "l1_miss_pct", "l2": "l2_miss_pct", "l3": "l3_miss_pct"}
+    return FigureData(
+        "fig5",
+        "Cache miss rates",
+        [
+            _per_app_panel("rate", rate, spec, unit="%"),
+            _per_app_panel("speed", speed, spec, unit="%"),
+        ],
+    )
+
+
+def figure_mispredicts(rate, speed) -> FigureData:
+    """Fig. 6: branch mispredict rates (%)."""
+    spec = {"mispredict": "mispredict_pct"}
+    return FigureData(
+        "fig6",
+        "Branch mispredict rates",
+        [
+            _per_app_panel("rate", rate, spec, unit="%"),
+            _per_app_panel("speed", speed, spec, unit="%"),
+        ],
+    )
+
+
+def figure_pc_scatter(
+    result: PCAResult, labels: Sequence[str], ref_only: Sequence[int]
+) -> FigureData:
+    """Fig. 7: scatter of PC1-PC2 and PC3-PC4 for the ref pairs."""
+    panels = []
+    for name, (a, b) in (("PC1 vs PC2", (0, 1)), ("PC3 vs PC4", (2, 3))):
+        xs = [float(result.scores[i, a]) for i in ref_only]
+        ys = [float(result.scores[i, b]) for i in ref_only]
+        text = ascii_plot.scatter_plot(xs, ys, title=name)
+        panels.append(
+            Panel(
+                name=name,
+                labels=[labels[i] for i in ref_only],
+                series={"x": xs, "y": ys},
+                text=text,
+            )
+        )
+    return FigureData("fig7", "Application-input pairs in PC space", panels)
+
+
+def figure_factor_loadings(loadings: FactorLoadings) -> FigureData:
+    """Fig. 8: factor loadings of the 20 characteristics on PC1-PC4."""
+    panels = []
+    for component in range(1, loadings.n_components + 1):
+        row = loadings.for_component(component)
+        labels = list(loadings.feature_names)
+        # Shifted bars (loadings can be negative): show magnitude with sign
+        # markers in the labels.
+        text_lines = ["PC%d loadings" % component]
+        for feature, value in zip(labels, row):
+            bar = "#" * int(round(abs(value) * 30))
+            sign = "+" if value >= 0 else "-"
+            text_lines.append("%-42s %s %s %.3f" % (feature, sign, bar, value))
+        panels.append(
+            Panel(
+                name="PC%d" % component,
+                labels=labels,
+                series={"loading": [float(v) for v in row]},
+                text="\n".join(text_lines),
+            )
+        )
+    return FigureData("fig8", "Factor loadings", panels)
+
+
+def figure_dendrograms(rate: SubsetResult, speed: SubsetResult) -> FigureData:
+    """Fig. 9: dendrograms of the rate and speed ref pairs."""
+    panels = []
+    for name, result in (("rate", rate), ("speed", speed)):
+        dendrogram = result.dendrogram()
+        panels.append(
+            Panel(
+                name=name,
+                labels=list(dendrogram.leaf_order()),
+                series={
+                    "merge_distance": [
+                        float(d) for d in result.clustering.merge_distances()
+                    ]
+                },
+                text=dendrogram.render(),
+            )
+        )
+    return FigureData("fig9", "Hierarchical-clustering dendrograms", panels)
+
+
+def figure_pareto(rate: SubsetResult, speed: SubsetResult) -> FigureData:
+    """Fig. 10: SSE vs subset time sweep with the chosen cluster count."""
+    panels = []
+    for name, result in (("rate", rate), ("speed", speed)):
+        ks = [p.n_clusters for p in result.sweep]
+        sses = [p.sse for p in result.sweep]
+        times = [p.subset_time_seconds for p in result.sweep]
+        text = "\n".join(
+            [
+                ascii_plot.line_plot(
+                    [float(k) for k in ks], sses,
+                    title="%s: SSE vs clusters (chosen k=%d)"
+                    % (name, result.n_clusters),
+                ),
+                ascii_plot.line_plot(
+                    [float(k) for k in ks], times,
+                    title="%s: subset time (s) vs clusters" % name,
+                ),
+            ]
+        )
+        panels.append(
+            Panel(
+                name=name,
+                labels=[str(k) for k in ks],
+                series={
+                    "n_clusters": [float(k) for k in ks],
+                    "sse": sses,
+                    "subset_time": times,
+                    "chosen": [float(result.n_clusters)],
+                },
+                text=text,
+            )
+        )
+    return FigureData("fig10", "Pareto-optimal cluster sizes", panels)

@@ -1,0 +1,70 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cells; everything is str()-ed.
+        title: Optional title line above the table.
+        align: Per-column alignment string of 'l'/'r' (default: first
+            column left, the rest right).
+    """
+    if not headers:
+        raise ReproError("a table needs at least one column")
+    width = len(headers)
+    table_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_render(cell) for cell in row]
+        if len(cells) != width:
+            raise ReproError(
+                "row has %d cells, expected %d: %r" % (len(cells), width, row)
+            )
+        table_rows.append(cells)
+
+    if align is None:
+        align = "l" + "r" * (width - 1)
+    if len(align) != width or any(c not in "lr" for c in align):
+        raise ReproError("align must be %d characters of 'l'/'r'" % width)
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table_rows)) if table_rows
+        else len(headers[i])
+        for i in range(width)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(
+                cell.ljust(widths[i]) if align[i] == "l" else cell.rjust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (width - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(rule)
+    lines.extend(fmt_row(r) for r in table_rows)
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)

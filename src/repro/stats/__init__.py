@@ -1,0 +1,38 @@
+"""Statistical analysis toolkit (paper Section V).
+
+Implements, from scratch on numpy: standardization, Principal Components
+Analysis, factor loadings, agglomerative hierarchical clustering with
+selectable linkage, dendrogram construction/rendering, SSE cluster-quality
+scoring, Pareto-front/knee selection, and Pearson correlation.
+"""
+
+from .preprocess import standardize, Standardizer
+from .pca import PCA, PCAResult
+from .factor import FactorLoadings, factor_loadings
+from .cluster import AgglomerativeClustering, ClusteringResult, Merge, sse
+from .linkage import LINKAGES, pairwise_distances
+from .dendrogram import Dendrogram, DendrogramNode
+from .pareto import ParetoPoint, knee_point, pareto_front
+from .correlation import correlation_matrix, pearson
+
+__all__ = [
+    "AgglomerativeClustering",
+    "ClusteringResult",
+    "Dendrogram",
+    "DendrogramNode",
+    "FactorLoadings",
+    "LINKAGES",
+    "Merge",
+    "PCA",
+    "PCAResult",
+    "ParetoPoint",
+    "Standardizer",
+    "correlation_matrix",
+    "factor_loadings",
+    "knee_point",
+    "pairwise_distances",
+    "pareto_front",
+    "pearson",
+    "sse",
+    "standardize",
+]

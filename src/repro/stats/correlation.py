@@ -1,0 +1,36 @@
+"""Pearson correlation (the paper's IPC-vs-footprint/miss-rate analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("pearson needs two equal-length 1-D sequences")
+    if x.size < 2:
+        raise AnalysisError("pearson needs at least 2 observations")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = np.sqrt((xd**2).sum() * (yd**2).sum())
+    if denom == 0:
+        raise AnalysisError("pearson undefined for a constant sequence")
+    return float((xd * yd).sum() / denom)
+
+
+def correlation_matrix(matrix) -> np.ndarray:
+    """Pairwise Pearson correlations of the columns of a [n, p] matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise AnalysisError("expected a 2-D matrix")
+    p = matrix.shape[1]
+    out = np.eye(p)
+    for i in range(p):
+        for j in range(i + 1, p):
+            out[i, j] = out[j, i] = pearson(matrix[:, i], matrix[:, j])
+    return out

@@ -1,0 +1,115 @@
+"""Dendrogram construction and text rendering (paper Fig. 9).
+
+Builds the binary merge tree from a :class:`~repro.stats.cluster.
+ClusteringResult` and renders it as indented ASCII, leaf-ordered the same
+way graphical dendrograms order their axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ClusteringError
+from .cluster import ClusteringResult
+
+
+@dataclass
+class DendrogramNode:
+    """One node of the merge tree (leaf or internal)."""
+
+    cluster_id: int
+    distance: float = 0.0
+    leaf_index: Optional[int] = None
+    left: Optional["DendrogramNode"] = None
+    right: Optional["DendrogramNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf_index is not None
+
+    def leaves(self) -> List[int]:
+        if self.is_leaf:
+            return [self.leaf_index]
+        return self.left.leaves() + self.right.leaves()
+
+    @property
+    def size(self) -> int:
+        return 1 if self.is_leaf else self.left.size + self.right.size
+
+
+@dataclass
+class Dendrogram:
+    """The full merge tree with labeled leaves."""
+
+    root: DendrogramNode
+    labels: Sequence[str] = field(default_factory=list)
+
+    @classmethod
+    def from_result(
+        cls, result: ClusteringResult, labels: Sequence[str] = ()
+    ) -> "Dendrogram":
+        labels = list(labels) or [str(i) for i in range(result.n_points)]
+        if len(labels) != result.n_points:
+            raise ClusteringError(
+                "label count (%d) must match point count (%d)"
+                % (len(labels), result.n_points)
+            )
+        nodes = {
+            i: DendrogramNode(cluster_id=i, leaf_index=i)
+            for i in range(result.n_points)
+        }
+        for step, merge in enumerate(result.merges):
+            new_id = result.n_points + step
+            nodes[new_id] = DendrogramNode(
+                cluster_id=new_id,
+                distance=merge.distance,
+                left=nodes.pop(merge.left),
+                right=nodes.pop(merge.right),
+            )
+        if len(nodes) != 1:
+            raise ClusteringError("merge history does not form a single tree")
+        (root,) = nodes.values()
+        return cls(root=root, labels=labels)
+
+    def leaf_order(self) -> List[str]:
+        """Leaf labels in dendrogram (axis) order."""
+        return [self.labels[i] for i in self.root.leaves()]
+
+    def first_merge(self) -> List[str]:
+        """The two labels joined at the smallest distance."""
+        node = self.root
+        best = None
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                continue
+            if current.left.is_leaf and current.right.is_leaf:
+                if best is None or current.distance < best.distance:
+                    best = current
+            stack.extend((current.left, current.right))
+        if best is None:
+            return []
+        return [self.labels[i] for i in best.leaves()]
+
+    def render(self, max_label: int = 28, width: int = 72) -> str:
+        """Indented ASCII dendrogram, distance increasing to the right."""
+        lines: List[str] = []
+        max_distance = max(self.root.distance, 1e-12)
+
+        def visit(node: DendrogramNode, depth: int) -> None:
+            if node.is_leaf:
+                lines.append(
+                    "%s%s" % ("  " * depth, self.labels[node.leaf_index][:max_label])
+                )
+                return
+            bar = int((node.distance / max_distance) * (width - 2 * depth - 10))
+            visit(node.left, depth + 1)
+            lines.append(
+                "%s+%s d=%.3f" % ("  " * depth, "-" * max(1, bar), node.distance)
+            )
+            visit(node.right, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

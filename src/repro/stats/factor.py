@@ -1,0 +1,77 @@
+"""Factor analysis of PCA components (paper Fig. 8).
+
+The paper reads each PC as a function of the original characteristics to
+name what "dominates" it.  For correlation-matrix PCA the natural loading
+is ``eigenvector * sqrt(eigenvalue)`` — the Pearson correlation between the
+standardized characteristic and the component score — which is what Fig. 8
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .pca import PCAResult
+
+
+@dataclass(frozen=True)
+class FactorLoadings:
+    """Loadings of every characteristic on every retained component."""
+
+    loadings: np.ndarray               # [n_components, n_features]
+    feature_names: Tuple[str, ...]
+
+    @property
+    def n_components(self) -> int:
+        return self.loadings.shape[0]
+
+    def for_component(self, component: int) -> np.ndarray:
+        """Loadings vector of one 1-indexed component (PC1, PC2, ...)."""
+        if not 1 <= component <= self.n_components:
+            raise AnalysisError(
+                "component must be in [1, %d]" % self.n_components
+            )
+        return self.loadings[component - 1]
+
+    def dominant(
+        self, component: int, k: int = 5, sign: str = "positive"
+    ) -> List[Tuple[str, float]]:
+        """The k characteristics that most dominate a component.
+
+        Args:
+            component: 1-indexed PC number.
+            k: How many characteristics to return.
+            sign: "positive", "negative", or "absolute".
+        """
+        row = self.for_component(component)
+        if sign == "positive":
+            order = np.argsort(row)[::-1]
+            order = [i for i in order if row[i] > 0]
+        elif sign == "negative":
+            order = np.argsort(row)
+            order = [i for i in order if row[i] < 0]
+        elif sign == "absolute":
+            order = list(np.argsort(np.abs(row))[::-1])
+        else:
+            raise AnalysisError("sign must be positive/negative/absolute")
+        return [(self.feature_names[i], float(row[i])) for i in order[:k]]
+
+
+def factor_loadings(
+    result: PCAResult, feature_names: Sequence[str]
+) -> FactorLoadings:
+    """Compute loadings (variable-component correlations) from a PCA."""
+    names = tuple(feature_names)
+    if len(names) != result.components.shape[1]:
+        raise AnalysisError(
+            "feature name count (%d) must match PCA features (%d)"
+            % (len(names), result.components.shape[1])
+        )
+    loadings = result.components * np.sqrt(
+        result.explained_variance[:, np.newaxis]
+    )
+    return FactorLoadings(loadings=loadings, feature_names=names)

@@ -1,0 +1,69 @@
+"""Pareto-front and knee selection (paper Fig. 10).
+
+The subsetting methodology trades clustering quality (SSE, lower is
+better) against subset execution time (lower is better) over candidate
+cluster counts, then picks the Pareto-optimal knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate solution with two minimization objectives."""
+
+    key: int          # e.g. the cluster count
+    x: float          # objective 1 (e.g. SSE)
+    y: float          # objective 2 (e.g. subset execution time)
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset under joint minimization of (x, y).
+
+    A point is dominated if another point is <= in both objectives and < in
+    at least one.
+    """
+    if not points:
+        raise AnalysisError("pareto_front needs at least one point")
+    front = []
+    for candidate in points:
+        dominated = any(
+            (other.x <= candidate.x and other.y <= candidate.y)
+            and (other.x < candidate.x or other.y < candidate.y)
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda p: (p.x, p.y))
+    return front
+
+
+def knee_point(points: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The balanced Pareto-optimal choice.
+
+    Both objectives are normalized to [0, 1] over the front; the knee is
+    the front point closest (Euclidean) to the ideal corner (0, 0) — the
+    standard compromise-programming reading of "Pareto-optimal solution".
+    """
+    front = pareto_front(points)
+    if len(front) == 1:
+        return front[0]
+    xs = np.asarray([p.x for p in front], dtype=np.float64)
+    ys = np.asarray([p.y for p in front], dtype=np.float64)
+
+    def normalize(values: np.ndarray) -> np.ndarray:
+        span = values.max() - values.min()
+        if span == 0:
+            return np.zeros_like(values)
+        return (values - values.min()) / span
+
+    nx, ny = normalize(xs), normalize(ys)
+    distances = np.hypot(nx, ny)
+    return front[int(np.argmin(distances))]

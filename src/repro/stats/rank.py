@@ -1,0 +1,68 @@
+"""Rank correlation (Spearman's rho, Kendall's tau).
+
+Used by the design-ranking validation: a representative subset must rank
+candidate microarchitectures the same way the full suite ranks them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def _ranks(values) -> np.ndarray:
+    """Average ranks (1-based), ties sharing their mean rank."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    i = 0
+    while i < len(values):
+        j = i
+        while (j + 1 < len(values)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def _check(x, y) -> tuple:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("rank correlation needs two equal-length 1-D "
+                            "sequences")
+    if x.size < 2:
+        raise AnalysisError("rank correlation needs at least 2 observations")
+    return x, y
+
+
+def spearman_rho(x, y) -> float:
+    """Spearman's rank correlation coefficient."""
+    from .correlation import pearson
+
+    x, y = _check(x, y)
+    return pearson(_ranks(x), _ranks(y))
+
+
+def kendall_tau(x, y) -> float:
+    """Kendall's tau-a over all pairs (ties count as discordant half)."""
+    x, y = _check(x, y)
+    n = x.size
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            # Compare sign-wise (a product of two tiny differences can
+            # underflow to zero and masquerade as a tie).
+            sx = int(x[i] > x[j]) - int(x[i] < x[j])
+            sy = int(y[i] > y[j]) - int(y[i] < y[j])
+            if sx * sy > 0:
+                concordant += 1
+            elif sx * sy < 0:
+                discordant += 1
+            # Ties contribute to neither.
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total

@@ -1,0 +1,60 @@
+"""Microarchitecture simulation substrate.
+
+Stands in for the paper's Haswell Xeon E5-2650L v3: a set-associative
+multi-level cache hierarchy, a family of branch predictors, a TLB, a
+footprint tracker, and an interval-analysis pipeline model, all
+parameterized by :class:`repro.config.SystemConfig`.
+"""
+
+from .cache import Cache, CacheStats
+from .hierarchy import AccessResult, HierarchyStats, MemoryHierarchy
+from .branch import (
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    PredictorStats,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    TwoLevelPredictor,
+    make_predictor,
+)
+from .pipeline import CPIBreakdown, PipelineModel
+from .memory import FootprintEstimate, FootprintTracker
+from .core import CoreResult, SimulatedCore
+from .cycle_core import CycleResult, InOrderCore
+from .replacement import make_policy
+from .prefetch import NextLinePrefetcher, StridePrefetcher
+from .tlb import TLB, TLBStats
+from .btb import BranchTargetBuffer, FrontEnd, ReturnAddressStack
+
+__all__ = [
+    "AccessResult",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "Cache",
+    "FrontEnd",
+    "ReturnAddressStack",
+    "CacheStats",
+    "CoreResult",
+    "CPIBreakdown",
+    "CycleResult",
+    "InOrderCore",
+    "FootprintEstimate",
+    "FootprintTracker",
+    "GSharePredictor",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "NextLinePrefetcher",
+    "PipelineModel",
+    "PredictorStats",
+    "SimulatedCore",
+    "StaticTakenPredictor",
+    "StridePrefetcher",
+    "TLB",
+    "TLBStats",
+    "TournamentPredictor",
+    "TwoLevelPredictor",
+    "make_policy",
+    "make_predictor",
+]

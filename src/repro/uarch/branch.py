@@ -1,0 +1,221 @@
+"""Branch predictor models.
+
+Conditional branches in the synthetic trace carry a *site id* (the static
+branch instruction they come from); predictors index their tables with it
+the way hardware indexes with the branch PC.  The default family is a
+Haswell-like tournament predictor (bimodal + gshare with a chooser); the
+simpler families exist for the predictor-ablation bench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass
+class PredictorStats:
+    """Prediction outcome counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredict_rate
+
+
+class BranchPredictor(ABC):
+    """Base class: predict-then-update protocol."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abstractmethod
+    def predict(self, site: int) -> bool:
+        """Predicted direction for a dynamic instance of ``site``."""
+
+    @abstractmethod
+    def train(self, site: int, taken: bool) -> None:
+        """Update internal state with the resolved outcome."""
+
+    def access(self, site: int, taken: bool) -> bool:
+        """Predict, record the outcome, train.  Returns True on mispredict."""
+        prediction = self.predict(site)
+        mispredicted = prediction != taken
+        self.stats.predictions += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        self.train(site, taken)
+        return mispredicted
+
+    def reset_stats(self) -> None:
+        self.stats = PredictorStats()
+
+
+def _check_size(size: int) -> int:
+    if size <= 0 or size & (size - 1):
+        raise ConfigError("predictor table size must be a power of two")
+    return size
+
+
+class StaticTakenPredictor(BranchPredictor):
+    """Always predicts taken (the no-hardware baseline)."""
+
+    name = "static"
+
+    def predict(self, site: int) -> bool:
+        return True
+
+    def train(self, site: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-site 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, size: int = 4096):
+        super().__init__()
+        self._mask = _check_size(size) - 1
+        self._table = [2] * size  # weakly taken
+
+    def predict(self, site: int) -> bool:
+        return self._table[site & self._mask] >= 2
+
+    def train(self, site: int, taken: bool) -> None:
+        index = site & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history predictor: GHR xor site indexes a counter table."""
+
+    name = "gshare"
+
+    def __init__(self, size: int = 4096, history_bits: int = 4):
+        """A short default history: the synthetic streams have a few dozen
+        sites with high-entropy interleaving, so long histories shatter the
+        table into once-visited entries that never train (the same effect
+        over-long histories have on small real tables)."""
+        super().__init__()
+        self._mask = _check_size(size) - 1
+        self._table = [2] * size
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, site: int) -> int:
+        # Spread the (dense, small) synthetic site ids across the table the
+        # way real branch PCs spread across it, so two sites with opposite
+        # bias don't systematically alias under the history XOR.
+        spread = (site * 0x9E3779B1) & self._mask
+        return (spread ^ self._history) & self._mask
+
+    def predict(self, site: int) -> bool:
+        return self._table[self._index(site)] >= 2
+
+    def train(self, site: int, taken: bool) -> None:
+        index = self._index(site)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class TwoLevelPredictor(BranchPredictor):
+    """Two-level adaptive (PAg): per-site local history -> shared pattern
+    table of 2-bit counters."""
+
+    name = "two_level"
+
+    def __init__(self, sites: int = 1024, history_bits: int = 10):
+        super().__init__()
+        self._site_mask = _check_size(sites) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = [0] * sites
+        self._pattern = [2] * (1 << history_bits)
+
+    def predict(self, site: int) -> bool:
+        history = self._histories[site & self._site_mask]
+        return self._pattern[history] >= 2
+
+    def train(self, site: int, taken: bool) -> None:
+        slot = site & self._site_mask
+        history = self._histories[slot]
+        counter = self._pattern[history]
+        if taken:
+            if counter < 3:
+                self._pattern[history] = counter + 1
+        elif counter > 0:
+            self._pattern[history] = counter - 1
+        self._histories[slot] = ((history << 1) | int(taken)) & self._history_mask
+
+
+class TournamentPredictor(BranchPredictor):
+    """Alpha-21264-style tournament: bimodal vs gshare with a per-site
+    chooser, approximating Haswell's hybrid predictor."""
+
+    name = "tournament"
+
+    def __init__(self, size: int = 4096):
+        super().__init__()
+        self._bimodal = BimodalPredictor(size)
+        self._gshare = GSharePredictor(size)
+        self._chooser = [2] * size  # >=2 prefers gshare
+        self._mask = size - 1
+
+    def predict(self, site: int) -> bool:
+        if self._chooser[site & self._mask] >= 2:
+            return self._gshare.predict(site)
+        return self._bimodal.predict(site)
+
+    def train(self, site: int, taken: bool) -> None:
+        bimodal_correct = self._bimodal.predict(site) == taken
+        gshare_correct = self._gshare.predict(site) == taken
+        index = site & self._mask
+        if gshare_correct != bimodal_correct:
+            counter = self._chooser[index]
+            if gshare_correct:
+                if counter < 3:
+                    self._chooser[index] = counter + 1
+            elif counter > 0:
+                self._chooser[index] = counter - 1
+        self._bimodal.train(site, taken)
+        self._gshare.train(site, taken)
+
+
+_PREDICTORS = {
+    "static": StaticTakenPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "two_level": TwoLevelPredictor,
+    "tournament": TournamentPredictor,
+}
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Instantiate a predictor family by name."""
+    try:
+        return _PREDICTORS[name]()
+    except KeyError:
+        raise ConfigError(
+            "unknown branch predictor %r (valid: %s)"
+            % (name, ", ".join(sorted(_PREDICTORS)))
+        ) from None

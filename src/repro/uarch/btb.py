@@ -1,0 +1,159 @@
+"""Branch target buffer and return-address stack models.
+
+Extensions beyond the paper's counters: the paper measures direction
+mispredicts (``br_misp_exec``); target-supply structures (BTB, RAS) are the
+other half of a front end.  These models are optional observers on the
+branch stream — :class:`FrontEnd` consumes (subtype, site) events and
+reports target-miss statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..workloads.generator import (
+    BR_CONDITIONAL,
+    BR_DIRECT_CALL,
+    BR_DIRECT_JUMP,
+    BR_INDIRECT_JUMP,
+    BR_INDIRECT_RETURN,
+)
+
+
+@dataclass
+class BTBStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class BranchTargetBuffer:
+    """Set-associative branch target buffer keyed by branch site."""
+
+    def __init__(self, entries: int = 512, associativity: int = 4):
+        if entries <= 0 or associativity <= 0:
+            raise ConfigError("BTB entries and associativity must be positive")
+        if entries % associativity:
+            raise ConfigError("BTB entries must divide by associativity")
+        self.entries = entries
+        self.associativity = associativity
+        self._sets = entries // associativity
+        self._ways: List[List[Optional[int]]] = [
+            [None] * associativity for _ in range(self._sets)
+        ]
+        self.stats = BTBStats()
+
+    def access(self, site: int) -> bool:
+        """Look up a site; allocate on miss.  Returns True on hit."""
+        index = site % self._sets
+        ways = self._ways[index]
+        if site in ways:
+            # LRU: move to the back.
+            ways.remove(site)
+            ways.append(site)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways.pop(0)
+        ways.append(site)
+        return False
+
+
+@dataclass
+class RASStats:
+    pushes: int = 0
+    pops: int = 0
+    correct_pops: int = 0
+    underflows: int = 0
+    overflow_drops: int = 0
+
+    @property
+    def return_mispredict_rate(self) -> float:
+        """Fraction of returns whose predicted target was wrong."""
+        if self.pops == 0:
+            return 0.0
+        return 1.0 - self.correct_pops / self.pops
+
+
+class ReturnAddressStack:
+    """Fixed-depth return-address stack.
+
+    A call pushes its site; the matching return pops it.  Returns that pop
+    the wrong site (after an overflow wrapped the stack) or pop an empty
+    stack count as target mispredicts.
+    """
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ConfigError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.stats = RASStats()
+
+    def push(self, site: int) -> None:
+        self.stats.pushes += 1
+        if len(self._stack) == self.depth:
+            # Hardware RAS wraps: the oldest entry is lost.
+            self._stack.pop(0)
+            self.stats.overflow_drops += 1
+        self._stack.append(site)
+
+    def pop(self, expected_site: int) -> bool:
+        """Pop for a return that should match ``expected_site``'s call."""
+        self.stats.pops += 1
+        if not self._stack:
+            self.stats.underflows += 1
+            return False
+        popped = self._stack.pop()
+        correct = popped == expected_site
+        if correct:
+            self.stats.correct_pops += 1
+        return correct
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._stack)
+
+
+class FrontEnd:
+    """Observes a branch stream and tracks target-supply structures.
+
+    Calls/returns are paired through a site stack the way nested call
+    trees pair them; direct jumps and conditionals exercise the BTB;
+    indirect jumps always need the BTB plus an indirect predictor (not
+    modeled — they are already charged in the core's mispredict rate).
+    """
+
+    def __init__(self, btb: Optional[BranchTargetBuffer] = None,
+                 ras: Optional[ReturnAddressStack] = None):
+        self.btb = btb or BranchTargetBuffer()
+        self.ras = ras or ReturnAddressStack()
+        self._call_sites: List[int] = []
+
+    def observe(self, subtype: int, site: int) -> None:
+        """Feed one executed branch."""
+        if subtype in (BR_CONDITIONAL, BR_DIRECT_JUMP, BR_INDIRECT_JUMP):
+            self.btb.access(site)
+        elif subtype == BR_DIRECT_CALL:
+            self.btb.access(site)
+            self._call_sites.append(site)
+            self.ras.push(site)
+        elif subtype == BR_INDIRECT_RETURN:
+            expected = self._call_sites.pop() if self._call_sites else -1
+            self.ras.pop(expected)
+
+    def observe_trace(self, trace) -> None:
+        """Feed every branch of a synthetic trace."""
+        from ..workloads.generator import KIND_BRANCH
+
+        branch_mask = trace.kind == KIND_BRANCH
+        subtypes = trace.btype[branch_mask].tolist()
+        sites = trace.site[branch_mask].tolist()
+        for subtype, site in zip(subtypes, sites):
+            self.observe(int(subtype), int(site))

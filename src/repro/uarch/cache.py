@@ -1,0 +1,128 @@
+"""A set-associative cache model.
+
+Models one level of the hierarchy: tag lookup, fill, and eviction under a
+pluggable replacement policy.  Addresses are byte addresses; the cache works
+on line granularity internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import CacheConfig
+from ..errors import SimulationError
+from .replacement import make_policy
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level, split by access kind."""
+
+    load_hits: int = 0
+    load_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.load_hits + self.store_hits
+
+    @property
+    def misses(self) -> int:
+        return self.load_misses + self.store_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def load_accesses(self) -> int:
+        return self.load_hits + self.load_misses
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Load miss rate (the paper's per-level metric), 0 if unused."""
+        accesses = self.load_accesses
+        return self.load_misses / accesses if accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        accesses = self.accesses
+        return self.misses / accesses if accesses else 0.0
+
+
+class Cache:
+    """One set-associative cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._offset_bits = config.line_size.bit_length() - 1
+        self._index_mask = config.num_sets - 1
+        policy = make_policy(config.replacement)
+        self._policy = policy
+        ways = config.associativity
+        self._tags: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(config.num_sets)
+        ]
+        self._lookup: List[dict] = [dict() for _ in range(config.num_sets)]
+        self._meta = [policy.make_set(ways) for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def _split(self, addr: int):
+        line = addr >> self._offset_bits
+        return line & self._index_mask, line >> (self.config.num_sets.bit_length() - 1)
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating state or counters."""
+        set_index, tag = self._split(addr)
+        return tag in self._lookup[set_index]
+
+    def access(self, addr: int, is_store: bool = False) -> bool:
+        """Access one address; fill on miss.  Returns True on hit."""
+        if addr < 0:
+            raise SimulationError("negative address %d" % addr)
+        set_index, tag = self._split(addr)
+        lookup = self._lookup[set_index]
+        meta = self._meta[set_index]
+        way = lookup.get(tag)
+        stats = self.stats
+        if way is not None:
+            self._policy.on_access(meta, way)
+            if is_store:
+                stats.store_hits += 1
+            else:
+                stats.load_hits += 1
+            return True
+        if is_store:
+            stats.store_misses += 1
+            if not self.config.write_allocate:
+                return False
+        else:
+            stats.load_misses += 1
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = self._policy.victim(meta)
+            del lookup[tags[way]]
+        tags[way] = tag
+        lookup[tag] = way
+        self._policy.on_access(meta, way)
+        return False
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if resident.  Returns True if it was present."""
+        set_index, tag = self._split(addr)
+        way = self._lookup[set_index].pop(tag, None)
+        if way is None:
+            return False
+        self._tags[set_index][way] = None
+        return True
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(lookup) for lookup in self._lookup)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,156 @@
+"""A cycle-level in-order core model (extension beyond the paper).
+
+The calibrated interval-analysis model reproduces the paper's measured
+out-of-order IPC.  This model is its deliberately-simple counterpart: an
+in-order, stall-on-use core simulated cycle by cycle, with no calibration
+input at all.  It exists to answer "what would these workloads do on a
+simple core?" and to sanity-check the analytical model's *orderings*
+against an independently-built simulator (see
+``benchmarks/bench_model_comparison.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..workloads.generator import (
+    BR_CONDITIONAL,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    SyntheticTrace,
+)
+from .branch import make_predictor
+from .hierarchy import AccessResult, MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Cycle-accounted outcome of one in-order run."""
+
+    cycles: float
+    instructions: int
+    issue_cycles: float
+    memory_stall_cycles: float
+    branch_stall_cycles: float
+    store_buffer_stalls: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def stall_breakdown(self) -> dict:
+        return {
+            "issue": self.issue_cycles / self.cycles,
+            "memory": self.memory_stall_cycles / self.cycles,
+            "branch": self.branch_stall_cycles / self.cycles,
+            "store_buffer": self.store_buffer_stalls / self.cycles,
+        }
+
+
+class InOrderCore:
+    """Scalar-to-narrow-superscalar, stall-on-use in-order core.
+
+    Loads that miss block the pipeline for the serviced level's latency;
+    stores drain through a small store buffer (stalling only when it is
+    full); branch mispredicts flush the front end.
+
+    Args:
+        config: System configuration (caches, latencies, predictor).
+        issue_width: Instructions issued per cycle when nothing stalls.
+        store_buffer_entries: Store-buffer capacity; each store occupies
+            a slot for the L1 hit latency.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        issue_width: int = 2,
+        store_buffer_entries: int = 8,
+    ):
+        if issue_width <= 0:
+            raise SimulationError("issue_width must be positive")
+        if store_buffer_entries <= 0:
+            raise SimulationError("store_buffer_entries must be positive")
+        self.config = config
+        self.issue_width = issue_width
+        self.store_buffer_entries = store_buffer_entries
+
+    def run(self, trace: SyntheticTrace,
+            max_ops: Optional[int] = None) -> CycleResult:
+        """Simulate cycle accounting for one trace."""
+        config = self.config
+        pipe = config.pipeline
+        hierarchy = MemoryHierarchy(config)
+        predictor = make_predictor(config.branch_predictor)
+
+        load_latency = {
+            AccessResult.L1_HIT: config.l1d.hit_latency,
+            AccessResult.L2_HIT: pipe.l2_latency,
+            AccessResult.L3_HIT: pipe.l3_latency,
+            AccessResult.MEMORY: pipe.dram_latency,
+        }
+        issue_cost = 1.0 / self.issue_width
+
+        n = trace.n_ops if max_ops is None else min(max_ops, trace.n_ops)
+        kind = trace.kind[:n].tolist()
+        addr = trace.addr[:n].tolist()
+        btype = trace.btype[:n].tolist()
+        site = trace.site[:n].tolist()
+        taken = trace.taken[:n].tolist()
+
+        cycles = 0.0
+        issue_cycles = 0.0
+        memory_stalls = 0.0
+        branch_stalls = 0.0
+        store_stalls = 0.0
+        # The store buffer is modeled as the cycle at which each occupied
+        # slot drains; a new store stalls until the oldest slot frees.
+        store_drain = []
+
+        for i in range(n):
+            cycles += issue_cost
+            issue_cycles += issue_cost
+            op = kind[i]
+            if op == KIND_LOAD:
+                level = hierarchy.access(addr[i], is_store=False)
+                # Stall-on-use: the L1 hit latency is pipelined away; any
+                # deeper service blocks the core for the full latency.
+                extra = load_latency[level] - config.l1d.hit_latency
+                if extra > 0:
+                    cycles += extra
+                    memory_stalls += extra
+            elif op == KIND_STORE:
+                hierarchy.access(addr[i], is_store=True)
+                while store_drain and store_drain[0] <= cycles:
+                    store_drain.pop(0)
+                if len(store_drain) >= self.store_buffer_entries:
+                    stall = store_drain[0] - cycles
+                    cycles += stall
+                    store_stalls += stall
+                    store_drain.pop(0)
+                store_drain.append(cycles + config.l1d.hit_latency)
+            elif op == KIND_BRANCH:
+                if btype[i] == BR_CONDITIONAL:
+                    mispredicted = predictor.access(site[i], taken[i])
+                    if mispredicted:
+                        cycles += pipe.mispredict_penalty
+                        branch_stalls += pipe.mispredict_penalty
+
+        return CycleResult(
+            cycles=cycles,
+            instructions=n,
+            issue_cycles=issue_cycles,
+            memory_stall_cycles=memory_stalls,
+            branch_stall_cycles=branch_stalls,
+            store_buffer_stalls=store_stalls,
+        )

@@ -1,0 +1,84 @@
+"""Process memory-footprint model (the paper's RSS / VSZ metrics).
+
+The paper samples ``ps -o vsz,rss`` at 1-second intervals and reports the
+maxima.  Our synthetic traces are statistical samples of much longer runs,
+so the tracker counts *first-touch page events* emitted by the generator
+(each a Bernoulli trial calibrated so the expected touched-page volume over
+the nominal run equals the measured RSS) and scales them back up.  VSZ — the
+reserved address space — comes from the profile's anchor, as it is set by
+the allocator, not by the access stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SimulationError
+from ..workloads.generator import PAGE_SIZE
+from ..workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class FootprintEstimate:
+    """Maximum footprint estimate for one run (bytes, paper style)."""
+
+    rss_bytes: float
+    vsz_bytes: float
+    touched_pages_sample: int
+
+    @property
+    def rss_gib(self) -> float:
+        return self.rss_bytes / 1024**3
+
+    @property
+    def vsz_gib(self) -> float:
+        return self.vsz_bytes / 1024**3
+
+
+class FootprintTracker:
+    """Accumulates first-touch events and produces an RSS estimate."""
+
+    def __init__(self, profile: WorkloadProfile, pages_per_touch: float = 1.0):
+        if pages_per_touch <= 0:
+            raise SimulationError("pages_per_touch must be positive")
+        self.profile = profile
+        self.pages_per_touch = pages_per_touch
+        self._touched_pages = 0
+        self._mem_ops_seen = 0
+        self._growth: List[int] = []
+
+    def on_memory_op(self, first_touch: bool) -> None:
+        """Observe one memory micro-op from the trace."""
+        self._mem_ops_seen += 1
+        if first_touch:
+            self._touched_pages += 1
+            self._growth.append(self._mem_ops_seen)
+
+    def observe_trace(self, new_page_flags) -> None:
+        """Bulk-observe a trace's first-touch flags (memory ops only)."""
+        for flag in new_page_flags:
+            self.on_memory_op(bool(flag))
+
+    @property
+    def touched_pages(self) -> int:
+        return self._touched_pages
+
+    def growth_curve(self) -> List[int]:
+        """Memory-op indices at which new pages were touched (monotone)."""
+        return list(self._growth)
+
+    def estimate(self) -> FootprintEstimate:
+        """Scale the sampled first-touch volume to the nominal run."""
+        if self._mem_ops_seen == 0:
+            raise SimulationError("no memory operations observed")
+        nominal_mem_ops = self.profile.instructions * max(
+            self.profile.mix.memory_fraction, 1e-9
+        )
+        scale = nominal_mem_ops / self._mem_ops_seen
+        rss = self._touched_pages * self.pages_per_touch * PAGE_SIZE * scale
+        return FootprintEstimate(
+            rss_bytes=rss,
+            vsz_bytes=self.profile.memory.vsz_bytes,
+            touched_pages_sample=self._touched_pages,
+        )

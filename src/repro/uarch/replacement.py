@@ -1,0 +1,150 @@
+"""Cache replacement policies.
+
+Each policy manages per-set metadata through a tiny three-method protocol
+(:meth:`make_set`, :meth:`on_access`, :meth:`victim`) so the cache proper
+stays policy-agnostic.  LRU is the default (and what the paper's Haswell
+approximates for L1/L2); FIFO, random, and tree-PLRU are provided for the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy(ABC):
+    """Strategy object handling victim selection for one cache."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def make_set(self, ways: int) -> Any:
+        """Create the per-set metadata for a set with ``ways`` ways."""
+
+    @abstractmethod
+    def on_access(self, state: Any, way: int) -> None:
+        """Record that ``way`` was touched (hit or fill)."""
+
+    @abstractmethod
+    def victim(self, state: Any) -> int:
+        """Pick the way to evict from a full set."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    name = "lru"
+
+    def make_set(self, ways: int) -> List[int]:
+        # Recency stack: index 0 is least-recent.
+        return list(range(ways))
+
+    def on_access(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: evict in fill order, ignoring hits."""
+
+    name = "fifo"
+
+    def make_set(self, ways: int) -> List[int]:
+        # [next_pointer, ways]
+        return [0, ways]
+
+    def on_access(self, state: List[int], way: int) -> None:
+        # FIFO ignores accesses; the pointer advances on eviction only.
+        pass
+
+    def victim(self, state: List[int]) -> int:
+        way = state[0]
+        state[0] = (way + 1) % state[1]
+        return way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministically seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        self._rng = random.Random(seed)
+
+    def make_set(self, ways: int) -> int:
+        return ways
+
+    def on_access(self, state: int, way: int) -> None:
+        pass
+
+    def victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (requires power-of-two associativity)."""
+
+    name = "plru"
+
+    def make_set(self, ways: int) -> List[Any]:
+        if ways & (ways - 1):
+            raise ConfigError("tree-PLRU requires power-of-two associativity")
+        # [tree bits, ways]; bits index a perfect binary tree, node 1 = root.
+        return [[0] * (2 * ways), ways]
+
+    def on_access(self, state: List[Any], way: int) -> None:
+        bits, ways = state
+        node = 1
+        span = ways
+        position = way
+        while span > 1:
+            half = span // 2
+            if position < half:
+                bits[node] = 1  # point away from the touched half
+                node = 2 * node
+            else:
+                bits[node] = 0
+                node = 2 * node + 1
+                position -= half
+            span = half
+
+    def victim(self, state: List[Any]) -> int:
+        bits, ways = state
+        node = 1
+        span = ways
+        way = 0
+        while span > 1:
+            half = span // 2
+            if bits[node]:
+                node = 2 * node + 1
+                way += half
+            else:
+                node = 2 * node
+            span = half
+        return way
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": TreePLRUPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            "unknown replacement policy %r (valid: %s)"
+            % (name, ", ".join(sorted(_POLICIES)))
+        ) from None

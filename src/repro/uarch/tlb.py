@@ -1,0 +1,55 @@
+"""A simple fully-associative TLB model (extension beyond the paper).
+
+The paper's counters don't include TLB events, but the footprint analysis
+(Section IV-C) motivates one: the speed suite's working sets are 8-10x the
+rate suite's, which a fixed-size TLB feels directly.  The TLB is exposed on
+:class:`~repro.uarch.core.SimulatedCore` as an optional observer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class TLB:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096):
+        if entries <= 0:
+            raise ConfigError("TLB needs at least one entry")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ConfigError("page size must be a power of two")
+        self.entries = entries
+        self.page_size = page_size
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = TLBStats()
+
+    def access(self, addr: int) -> bool:
+        """Translate one address.  Returns True on a TLB hit."""
+        page = addr // self.page_size
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def reset_stats(self) -> None:
+        self.stats = TLBStats()

@@ -1,0 +1,42 @@
+"""Workload models for the SPEC CPU2017 and CPU2006 benchmark suites.
+
+Because the SPEC suites are licensed and cannot ship with this reproduction,
+each application-input pair is modeled by a :class:`~repro.workloads.profile.
+WorkloadProfile`: a statistical description (instruction mix, branch-subtype
+mix, branch predictability, multi-level working-set mixture, memory
+footprint, nominal instruction count) anchored to every per-application
+number the paper reports.  :mod:`repro.workloads.generator` turns a profile
+into a deterministic synthetic micro-op trace that the microarchitecture
+substrate in :mod:`repro.uarch` executes.
+"""
+
+from .profile import (
+    BranchBehavior,
+    BranchMix,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+from .suite import AppInput, Benchmark, BenchmarkSuite
+from .spec2017 import cpu2017
+from .spec2006 import cpu2006
+from .generator import SyntheticTrace, TraceGenerator
+
+__all__ = [
+    "AppInput",
+    "Benchmark",
+    "BenchmarkSuite",
+    "BranchBehavior",
+    "BranchMix",
+    "InputSize",
+    "InstructionMix",
+    "MemoryBehavior",
+    "MiniSuite",
+    "SyntheticTrace",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "cpu2006",
+    "cpu2017",
+]

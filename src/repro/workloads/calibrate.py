@@ -1,0 +1,234 @@
+"""Calibration: map profile targets onto generator knobs.
+
+The synthetic trace generator reproduces a profile's cache and branch
+behavior by construction:
+
+* **Cache levels** — every memory access is routed to one of four access
+  *regions* whose line sets are laid out so that, on the Table-I hierarchy,
+  they deterministically hit exactly one level:
+
+  - ``hot``    lines spread over distinct L1 sets  -> L1 hits,
+  - ``warm``   lines thrashing one L1 set but spread in L2 -> L2 hits,
+  - ``cool``   lines thrashing one L2 set but spread in L3 -> L3 hits,
+  - ``dram``   lines thrashing one L3 set -> DRAM accesses.
+
+  Cyclic access within a region of more lines than the level's
+  associativity defeats LRU completely (the classic LRU-adversarial sweep),
+  so the region's per-level behavior does not depend on sample length.
+  Solving the region mixture from the paper's per-level *load miss rates*
+  (m1, m2, m3) is then exact:
+
+      f_dram = m1*m2*m3          (misses everywhere)
+      f_cool = m1*m2*(1-m3)      (misses L1+L2, hits L3)
+      f_warm = m1*(1-m2)         (misses L1, hits L2)
+      f_hot  = 1-m1              (hits L1)
+
+* **Branch predictability** — conditional branches come from *easy* sites
+  (strong per-site bias with a small flip probability) and *hard* sites
+  (independent 50/50 outcomes, unlearnable by any predictor).  A good
+  predictor achieves ~flip-rate mispredicts on easy sites and ~50% on hard
+  sites, so the hard-site share solves the target mispredict rate.
+
+* **Base CPI** — the interval-analysis pipeline model charges measurable
+  penalties (mispredict flushes, cache-miss stalls); everything else the
+  real machine does (dependencies, issue-port contention, SMT interference)
+  is folded into a per-profile base CPI solved here so that simulating the
+  profile on the Table-I configuration lands on the paper's measured IPC.
+  On *other* configurations the penalty terms move with the simulation,
+  which is what the ablation benches exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import SystemConfig
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+#: Region names in generator order.
+REGION_NAMES = ("hot", "warm", "cool", "dram")
+
+#: Mispredict probability assumed for a hard (50/50) conditional site.
+HARD_MISPREDICT = 0.5
+
+#: Ceiling on the easy-site flip probability (see :func:`branch_knobs`).
+MAX_EASY_FLIP = 0.004
+
+#: Assumed mispredict rate for indirect jumps (non call/ret); these are a
+#: tiny share of branches, so this constant barely moves totals.
+INDIRECT_JUMP_MISPREDICT = 0.10
+
+
+@dataclass(frozen=True)
+class RegionFractions:
+    """Probability that a memory access targets each region."""
+
+    hot: float
+    warm: float
+    cool: float
+    dram: float
+
+    def __post_init__(self) -> None:
+        total = self.hot + self.warm + self.cool + self.dram
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError("region fractions must sum to 1 (got %r)" % total)
+        for name in REGION_NAMES:
+            value = getattr(self, name)
+            if not -1e-12 <= value <= 1.0 + 1e-12:
+                raise WorkloadError("region fraction %s out of range: %r" % (name, value))
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.hot, self.warm, self.cool, self.dram)
+
+    @property
+    def expected_miss_rates(self) -> Tuple[float, float, float]:
+        """The (m1, m2, m3) this mixture reproduces (inverse of solve)."""
+        m1 = self.warm + self.cool + self.dram
+        m2 = (self.cool + self.dram) / m1 if m1 > 0 else 0.0
+        m3 = self.dram / (self.cool + self.dram) if (self.cool + self.dram) > 0 else 0.0
+        return (m1, m2, m3)
+
+
+def solve_region_fractions(
+    l1_miss: float, l2_miss: float, l3_miss: float
+) -> RegionFractions:
+    """Solve the region mixture that reproduces the target load miss rates.
+
+    Args:
+        l1_miss: Target L1D load miss rate in [0, 1].
+        l2_miss: Target L2 load miss rate (misses / L1-miss fills).
+        l3_miss: Target L3 load miss rate (misses / L2-miss fills).
+    """
+    for name, rate in (("l1", l1_miss), ("l2", l2_miss), ("l3", l3_miss)):
+        if not 0.0 <= rate <= 1.0:
+            raise WorkloadError("%s miss rate must be in [0, 1]: %r" % (name, rate))
+    dram = l1_miss * l2_miss * l3_miss
+    cool = l1_miss * l2_miss * (1.0 - l3_miss)
+    warm = l1_miss * (1.0 - l2_miss)
+    hot = 1.0 - l1_miss
+    return RegionFractions(hot=hot, warm=warm, cool=cool, dram=dram)
+
+
+@dataclass(frozen=True)
+class BranchKnobs:
+    """Generator knobs for conditional-branch predictability."""
+
+    hard_fraction: float     # share of conditional branches from hard sites
+    easy_flip: float         # per-access bias-flip probability of easy sites
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hard_fraction <= 1.0:
+            raise WorkloadError("hard_fraction out of range: %r" % self.hard_fraction)
+        if not 0.0 <= self.easy_flip <= 0.5:
+            raise WorkloadError("easy_flip out of range: %r" % self.easy_flip)
+
+
+def branch_knobs(profile: WorkloadProfile) -> BranchKnobs:
+    """Solve the easy/hard conditional-site mixture for a profile.
+
+    The target mispredict rate is over *all* branches; unconditional
+    branches (jumps, calls, returns) are essentially always predicted, and
+    indirect jumps carry a fixed small mispredict probability, so the
+    conditional stream must supply the remainder.
+    """
+    mix = profile.mix.branch_mix
+    target_all = profile.branches.target_mispredict_rate
+    indirect_share = mix.indirect_jump * INDIRECT_JUMP_MISPREDICT
+    conditional_share = max(mix.conditional, 1e-9)
+    target_cond = max(0.0, (target_all - indirect_share) / conditional_share)
+    target_cond = min(target_cond, HARD_MISPREDICT)
+
+    # A flip on an easy site costs the predictor roughly two mispredicts
+    # (one on the flip, one re-learning), hence the factor of 2 below.
+    easy_flip = min(MAX_EASY_FLIP, target_cond / 2.0)
+    easy_misp = 2.0 * easy_flip
+    hard = (target_cond - easy_misp) / max(HARD_MISPREDICT - easy_misp, 1e-9)
+    return BranchKnobs(hard_fraction=min(1.0, max(0.0, hard)), easy_flip=easy_flip)
+
+
+def expected_penalty_cpi(profile: WorkloadProfile, config: SystemConfig) -> float:
+    """Analytic per-instruction penalty the pipeline model will charge.
+
+    Mirrors :mod:`repro.uarch.pipeline` exactly, but computed from the
+    profile's *targets* instead of simulated counts, so the base CPI can be
+    solved in closed form.
+    """
+    pipe = config.pipeline
+    mem = profile.memory
+    m1, m2, m3 = mem.target_l1_miss_rate, mem.target_l2_miss_rate, mem.target_l3_miss_rate
+    loads = profile.mix.load_fraction
+    l2_fills = loads * m1 * (1.0 - m2)
+    l3_fills = loads * m1 * m2 * (1.0 - m3)
+    dram_fills = loads * m1 * m2 * m3
+    exposure = 1.0 - pipe.mlp_overlap
+    l1_hit = config.l1d.hit_latency
+    miss_cpi = exposure * (
+        l2_fills * (pipe.l2_latency - l1_hit)
+        + l3_fills * (pipe.l3_latency - l1_hit)
+        + dram_fills * (pipe.dram_latency - l1_hit)
+    )
+    branch_cpi = (
+        profile.mix.branch_fraction
+        * profile.branches.target_mispredict_rate
+        * pipe.mispredict_penalty
+    )
+    return miss_cpi + branch_cpi
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Calibrated per-profile pipeline parameters.
+
+    ``base_cpi`` is the penalty-free CPI.  ``penalty_scale`` (in (0, 1])
+    discounts the modeled miss/mispredict penalties for workloads whose
+    native run hides more latency than the default MLP-overlap term
+    captures (deep memory-level parallelism, streaming prefetch): when the
+    target CPI is smaller than base-floor plus modeled penalties, the
+    penalties are scaled so the Table-I configuration lands on the measured
+    IPC while other configurations still see proportional effects.
+    """
+
+    base_cpi: float
+    penalty_scale: float
+
+
+def solve_pipeline_params(
+    profile: WorkloadProfile, config: SystemConfig
+) -> PipelineParams:
+    """Solve the base CPI and penalty scale for one profile."""
+    ideal = 1.0 / config.pipeline.dispatch_width
+    target_cpi = 1.0 / profile.target_ipc
+    penalty = expected_penalty_cpi(profile, config)
+    headroom = target_cpi - ideal
+    if penalty <= headroom or penalty <= 0.0:
+        return PipelineParams(base_cpi=target_cpi - penalty, penalty_scale=1.0)
+    return PipelineParams(
+        base_cpi=ideal, penalty_scale=max(1e-3, headroom / penalty)
+    )
+
+
+def solve_base_cpi(profile: WorkloadProfile, config: SystemConfig) -> float:
+    """Base (penalty-free) CPI that lands the pipeline model on the
+    profile's measured IPC for the given configuration."""
+    return solve_pipeline_params(profile, config).base_cpi
+
+
+def effective_parallelism(profile: WorkloadProfile, config: SystemConfig) -> float:
+    """Cycle-aggregation factor relating core cycles to wall-clock time.
+
+    The paper reads ``cpu_clk_unhalted.ref_tsc`` through perf, which sums
+    reference cycles across every CPU the (possibly OpenMP) process runs
+    on.  For multithreaded speed runs the summed cycles therefore exceed
+    wall-time x frequency by the number of actively counting CPUs.  We
+    back-derive that factor from the profile's measured anchors:
+
+        ep = instructions / (IPC * frequency * wall_time)
+
+    Single-threaded rate runs come out at ~1 by construction.
+    """
+    ep = profile.instructions / (
+        profile.target_ipc * config.frequency_hz * profile.exec_time_seconds
+    )
+    return max(1.0, ep)

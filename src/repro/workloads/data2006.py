@@ -1,0 +1,306 @@
+"""Per-application calibration data for SPEC CPU2006.
+
+The paper uses CPU2006 only for suite-level comparison (Tables III-VII):
+means and standard deviations of IPC, instruction mix, footprint, cache miss
+rates, and branch mispredict rates, split into int/fp/all.  We therefore
+model each of the 29 CPU2006 applications with a single ref input (CPU2006's
+own multi-input applications are collapsed; only aggregates are consumed).
+Values are chosen so the suite aggregates land near the paper's CPU06
+columns; per-application values are informed by the well-known behavior of
+these workloads (e.g. 429.mcf's very low IPC and high miss rates,
+462.libquantum's streaming L2 misses, 464.h264ref's high IPC).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .data2017 import (
+    AppRecord,
+    BMIX_DEFAULT,
+    BMIX_FP,
+    BMIX_FP_CALLY,
+    BMIX_GAME,
+    BMIX_INTERP,
+    BMIX_OOP,
+)
+from .profile import GIB, MIB
+
+
+def _gib(value: float) -> float:
+    return value * GIB
+
+
+def _mib(value: float) -> float:
+    return value * MIB
+
+
+CPU2006_RECORDS: Tuple[AppRecord, ...] = (
+    # ------------------------------------------------------------------
+    # CINT2006 (12 applications)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "400.perlbench", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1400.0, ipc=2.70, time_s=288.1,
+        loads_pct=28.0, stores_pct=12.0, branches_pct=21.0,
+        l1_miss_pct=1.0, l2_miss_pct=22.0, l3_miss_pct=6.0,
+        mispredict_pct=1.3,
+        rss_bytes=_mib(580.0), vsz_bytes=_mib(600.0), bmix=BMIX_INTERP,
+        description="Perl interpreter (CPU2006)",
+    ),
+    AppRecord(
+        "401.bzip2", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1200.0, ipc=1.90, time_s=350.9,
+        loads_pct=26.0, stores_pct=9.0, branches_pct=15.0,
+        l1_miss_pct=1.8, l2_miss_pct=32.0, l3_miss_pct=6.0,
+        mispredict_pct=4.5,
+        rss_bytes=_mib(850.0), vsz_bytes=_mib(870.0),
+        description="Burrows-Wheeler compression (CPU2006)",
+    ),
+    AppRecord(
+        "403.gcc", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=700.0, ipc=1.40, time_s=277.8,
+        loads_pct=25.0, stores_pct=12.0, branches_pct=22.0,
+        l1_miss_pct=2.8, l2_miss_pct=38.0, l3_miss_pct=18.0,
+        mispredict_pct=2.5,
+        rss_bytes=_mib(900.0), vsz_bytes=_mib(940.0), bmix=BMIX_INTERP,
+        description="GNU C compiler (CPU2006)",
+    ),
+    AppRecord(
+        "429.mcf", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=400.0, ipc=0.40, time_s=555.6,
+        loads_pct=31.0, stores_pct=9.0, branches_pct=24.0,
+        l1_miss_pct=14.0, l2_miss_pct=72.0, l3_miss_pct=45.0,
+        mispredict_pct=6.5,
+        rss_bytes=_gib(1.60), vsz_bytes=_gib(1.65), bmix=BMIX_OOP,
+        description="Single-depot vehicle scheduling (CPU2006)",
+    ),
+    AppRecord(
+        "445.gobmk", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1100.0, ipc=1.55, time_s=394.3,
+        loads_pct=24.0, stores_pct=11.0, branches_pct=20.0,
+        l1_miss_pct=1.2, l2_miss_pct=25.0, l3_miss_pct=4.0,
+        mispredict_pct=6.8,
+        rss_bytes=_mib(28.0), vsz_bytes=_mib(48.0), bmix=BMIX_GAME,
+        description="Go-playing engine (CPU2006)",
+    ),
+    AppRecord(
+        "456.hmmer", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1900.0, ipc=3.00, time_s=351.9,
+        loads_pct=27.0, stores_pct=13.0, branches_pct=8.0,
+        l1_miss_pct=0.6, l2_miss_pct=15.0, l3_miss_pct=2.0,
+        mispredict_pct=0.6,
+        rss_bytes=_mib(25.0), vsz_bytes=_mib(42.0),
+        description="Hidden-Markov-model protein search (CPU2006)",
+    ),
+    AppRecord(
+        "458.sjeng", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1500.0, ipc=1.80, time_s=463.0,
+        loads_pct=22.0, stores_pct=8.0, branches_pct=21.0,
+        l1_miss_pct=1.0, l2_miss_pct=28.0, l3_miss_pct=8.0,
+        mispredict_pct=5.5,
+        rss_bytes=_mib(180.0), vsz_bytes=_mib(200.0), bmix=BMIX_GAME,
+        description="Chess engine (CPU2006)",
+    ),
+    AppRecord(
+        "462.libquantum", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=1300.0, ipc=1.20, time_s=601.9,
+        loads_pct=22.0, stores_pct=8.0, branches_pct=26.0,
+        l1_miss_pct=3.5, l2_miss_pct=78.0, l3_miss_pct=30.0,
+        mispredict_pct=0.8,
+        rss_bytes=_mib(100.0), vsz_bytes=_mib(120.0),
+        description="Quantum computer simulation (streaming; CPU2006)",
+    ),
+    AppRecord(
+        "464.h264ref", "cpu06_int", "C", (1, 1, 1),
+        instr_e9=2200.0, ipc=3.10, time_s=394.3,
+        loads_pct=33.0, stores_pct=13.0, branches_pct=8.0,
+        l1_miss_pct=0.8, l2_miss_pct=18.0, l3_miss_pct=3.0,
+        mispredict_pct=1.2,
+        rss_bytes=_mib(65.0), vsz_bytes=_mib(90.0),
+        description="H.264 reference encoder (CPU2006)",
+    ),
+    AppRecord(
+        "471.omnetpp", "cpu06_int", "C++", (1, 1, 1),
+        instr_e9=600.0, ipc=1.00, time_s=333.3,
+        loads_pct=27.0, stores_pct=11.0, branches_pct=21.0,
+        l1_miss_pct=4.8, l2_miss_pct=48.0, l3_miss_pct=14.0,
+        mispredict_pct=2.8,
+        rss_bytes=_mib(172.0), vsz_bytes=_mib(190.0), bmix=BMIX_OOP,
+        description="Ethernet network simulation (CPU2006)",
+    ),
+    AppRecord(
+        "473.astar", "cpu06_int", "C++", (1, 1, 1),
+        instr_e9=900.0, ipc=1.30, time_s=384.6,
+        loads_pct=28.0, stores_pct=7.0, branches_pct=17.0,
+        l1_miss_pct=4.0, l2_miss_pct=44.0, l3_miss_pct=8.0,
+        mispredict_pct=5.2,
+        rss_bytes=_mib(330.0), vsz_bytes=_mib(350.0), bmix=BMIX_OOP,
+        description="A* path-finding (CPU2006)",
+    ),
+    AppRecord(
+        "483.xalancbmk", "cpu06_int", "C++", (1, 1, 1),
+        instr_e9=1000.0, ipc=1.70, time_s=326.8,
+        loads_pct=21.81, stores_pct=10.83, branches_pct=25.66,
+        l1_miss_pct=14.0, l2_miss_pct=70.25, l3_miss_pct=2.0,
+        mispredict_pct=1.0,
+        rss_bytes=_mib(430.0), vsz_bytes=_mib(460.0), bmix=BMIX_OOP,
+        description="XSLT processor (CPU2006)",
+    ),
+    # ------------------------------------------------------------------
+    # CFP2006 (17 applications)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "410.bwaves", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=1700.0, ipc=1.70, time_s=555.6,
+        loads_pct=28.0, stores_pct=4.0, branches_pct=14.0,
+        l1_miss_pct=2.0, l2_miss_pct=42.0, l3_miss_pct=28.0,
+        mispredict_pct=0.9,
+        rss_bytes=_mib(890.0), vsz_bytes=_mib(910.0), bmix=BMIX_FP,
+        description="Blast-wave CFD (CPU2006)",
+    ),
+    AppRecord(
+        "416.gamess", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=2300.0, ipc=2.60, time_s=491.5,
+        loads_pct=25.0, stores_pct=8.0, branches_pct=9.0,
+        l1_miss_pct=0.5, l2_miss_pct=10.0, l3_miss_pct=2.0,
+        mispredict_pct=2.8,
+        rss_bytes=_mib(670.0), vsz_bytes=_mib(700.0), bmix=BMIX_FP_CALLY,
+        description="Ab-initio quantum chemistry (CPU2006)",
+    ),
+    AppRecord(
+        "433.milc", "cpu06_fp", "C", (1, 1, 1),
+        instr_e9=700.0, ipc=0.90, time_s=432.1,
+        loads_pct=25.0, stores_pct=8.0, branches_pct=3.0,
+        l1_miss_pct=4.5, l2_miss_pct=60.0, l3_miss_pct=40.0,
+        mispredict_pct=0.4,
+        rss_bytes=_mib(680.0), vsz_bytes=_mib(700.0), bmix=BMIX_FP,
+        description="Lattice QCD (CPU2006)",
+    ),
+    AppRecord(
+        "434.zeusmp", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=1500.0, ipc=1.60, time_s=520.8,
+        loads_pct=22.0, stores_pct=7.0, branches_pct=5.0,
+        l1_miss_pct=2.2, l2_miss_pct=38.0, l3_miss_pct=22.0,
+        mispredict_pct=1.0,
+        rss_bytes=_mib(510.0), vsz_bytes=_mib(540.0), bmix=BMIX_FP,
+        description="Astrophysical magnetohydrodynamics (CPU2006)",
+    ),
+    AppRecord(
+        "435.gromacs", "cpu06_fp", "C/Fortran", (1, 1, 1),
+        instr_e9=1800.0, ipc=2.20, time_s=454.5,
+        loads_pct=27.0, stores_pct=9.0, branches_pct=6.0,
+        l1_miss_pct=0.9, l2_miss_pct=14.0, l3_miss_pct=4.0,
+        mispredict_pct=1.8,
+        rss_bytes=_mib(26.0), vsz_bytes=_mib(46.0), bmix=BMIX_FP,
+        description="Molecular dynamics (CPU2006)",
+    ),
+    AppRecord(
+        "436.cactusADM", "cpu06_fp", "C/Fortran", (1, 1, 1),
+        instr_e9=1300.0, ipc=1.40, time_s=515.9,
+        loads_pct=36.0, stores_pct=9.0, branches_pct=1.5,
+        l1_miss_pct=3.0, l2_miss_pct=45.0, l3_miss_pct=25.0,
+        mispredict_pct=0.3,
+        rss_bytes=_mib(670.0), vsz_bytes=_mib(700.0), bmix=BMIX_FP,
+        description="Einstein-equation ADM solver (CPU2006)",
+    ),
+    AppRecord(
+        "437.leslie3d", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=1400.0, ipc=1.50, time_s=518.5,
+        loads_pct=26.0, stores_pct=8.0, branches_pct=4.0,
+        l1_miss_pct=3.2, l2_miss_pct=48.0, l3_miss_pct=26.0,
+        mispredict_pct=0.6,
+        rss_bytes=_mib(130.0), vsz_bytes=_mib(150.0), bmix=BMIX_FP,
+        description="Eddy/LES combustion CFD (CPU2006)",
+    ),
+    AppRecord(
+        "444.namd", "cpu06_fp", "C++", (1, 1, 1),
+        instr_e9=2000.0, ipc=2.40, time_s=463.0,
+        loads_pct=24.0, stores_pct=5.0, branches_pct=5.0,
+        l1_miss_pct=0.8, l2_miss_pct=10.0, l3_miss_pct=4.0,
+        mispredict_pct=1.4,
+        rss_bytes=_mib(47.0), vsz_bytes=_mib(70.0), bmix=BMIX_FP,
+        description="Molecular dynamics (CPU2006)",
+    ),
+    AppRecord(
+        "447.dealII", "cpu06_fp", "C++", (1, 1, 1),
+        instr_e9=1900.0, ipc=2.30, time_s=459.0,
+        loads_pct=29.0, stores_pct=8.0, branches_pct=15.0,
+        l1_miss_pct=1.2, l2_miss_pct=20.0, l3_miss_pct=7.0,
+        mispredict_pct=1.5,
+        rss_bytes=_mib(800.0), vsz_bytes=_mib(830.0), bmix=BMIX_FP_CALLY,
+        description="Adaptive finite elements (CPU2006)",
+    ),
+    AppRecord(
+        "450.soplex", "cpu06_fp", "C++", (1, 1, 1),
+        instr_e9=700.0, ipc=1.00, time_s=388.9,
+        loads_pct=26.0, stores_pct=6.0, branches_pct=17.0,
+        l1_miss_pct=4.2, l2_miss_pct=50.0, l3_miss_pct=22.0,
+        mispredict_pct=3.8,
+        rss_bytes=_mib(440.0), vsz_bytes=_mib(470.0), bmix=BMIX_OOP,
+        description="Simplex linear-programming solver (CPU2006)",
+    ),
+    AppRecord(
+        "453.povray", "cpu06_fp", "C++", (1, 1, 1),
+        instr_e9=1600.0, ipc=2.30, time_s=386.5,
+        loads_pct=30.0, stores_pct=10.0, branches_pct=14.0,
+        l1_miss_pct=0.4, l2_miss_pct=7.0, l3_miss_pct=2.0,
+        mispredict_pct=2.4,
+        rss_bytes=_mib(3.5), vsz_bytes=_mib(35.0), bmix=BMIX_FP_CALLY,
+        description="Ray tracer (CPU2006)",
+    ),
+    AppRecord(
+        "454.calculix", "cpu06_fp", "C/Fortran", (1, 1, 1),
+        instr_e9=2100.0, ipc=2.50, time_s=466.7,
+        loads_pct=23.0, stores_pct=5.0, branches_pct=9.0,
+        l1_miss_pct=0.7, l2_miss_pct=12.0, l3_miss_pct=4.0,
+        mispredict_pct=1.6,
+        rss_bytes=_mib(150.0), vsz_bytes=_mib(180.0), bmix=BMIX_FP,
+        description="Structural-mechanics finite elements (CPU2006)",
+    ),
+    AppRecord(
+        "459.GemsFDTD", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=1100.0, ipc=1.10, time_s=555.6,
+        loads_pct=28.0, stores_pct=7.0, branches_pct=6.0,
+        l1_miss_pct=4.8, l2_miss_pct=62.0, l3_miss_pct=35.0,
+        mispredict_pct=0.5,
+        rss_bytes=_mib(850.0), vsz_bytes=_mib(880.0), bmix=BMIX_FP,
+        description="FDTD electromagnetics (CPU2006)",
+    ),
+    AppRecord(
+        "465.tonto", "cpu06_fp", "Fortran", (1, 1, 1),
+        instr_e9=1800.0, ipc=2.30, time_s=434.8,
+        loads_pct=24.0, stores_pct=8.0, branches_pct=11.0,
+        l1_miss_pct=0.9, l2_miss_pct=16.0, l3_miss_pct=5.0,
+        mispredict_pct=2.1,
+        rss_bytes=_mib(42.0), vsz_bytes=_mib(70.0), bmix=BMIX_FP_CALLY,
+        description="Quantum crystallography (CPU2006)",
+    ),
+    AppRecord(
+        "470.lbm", "cpu06_fp", "C", (1, 1, 1),
+        instr_e9=1100.0, ipc=1.30, time_s=470.1,
+        loads_pct=19.0, stores_pct=12.0, branches_pct=1.0,
+        l1_miss_pct=4.8, l2_miss_pct=55.0, l3_miss_pct=36.0,
+        mispredict_pct=0.2,
+        rss_bytes=_mib(410.0), vsz_bytes=_mib(430.0), bmix=BMIX_FP,
+        description="Lattice-Boltzmann fluid dynamics (CPU2006)",
+    ),
+    AppRecord(
+        "481.wrf", "cpu06_fp", "C/Fortran", (1, 1, 1),
+        instr_e9=1900.0, ipc=1.90, time_s=555.6,
+        loads_pct=27.0, stores_pct=8.0, branches_pct=10.0,
+        l1_miss_pct=2.0, l2_miss_pct=28.0, l3_miss_pct=10.0,
+        mispredict_pct=1.3,
+        rss_bytes=_mib(700.0), vsz_bytes=_mib(730.0), bmix=BMIX_FP,
+        description="Weather forecasting (CPU2006)",
+    ),
+    AppRecord(
+        "482.sphinx3", "cpu06_fp", "C", (1, 1, 1),
+        instr_e9=1500.0, ipc=1.85, time_s=450.5,
+        loads_pct=32.0, stores_pct=4.0, branches_pct=13.0,
+        l1_miss_pct=3.5, l2_miss_pct=26.0, l3_miss_pct=7.0,
+        mispredict_pct=2.5,
+        rss_bytes=_mib(45.0), vsz_bytes=_mib(70.0), bmix=BMIX_DEFAULT,
+        description="Speech recognition (CPU2006)",
+    ),
+)

@@ -1,0 +1,604 @@
+"""Per-application calibration data for SPEC CPU2017.
+
+The SPEC suites are licensed, so this reproduction cannot run the native
+binaries.  Instead, every application-input pair is described by a reference
+record anchored to the measurements the paper reports on its Table-I machine
+(Haswell Xeon E5-2650L v3, perf counters).  Where the paper states a number
+for an application, that number appears here verbatim (anchored fields are
+commented ``# paper``).  Where it does not, we assign values that are
+plausible for the application and that aggregate to the suite-level
+means/standard deviations of the paper's Tables II-VII.  EXPERIMENTS.md
+records measured-vs-paper deviations for every aggregate.
+
+Schema
+------
+Each :class:`AppRecord` describes one application at the ``ref`` input size.
+``test``/``train`` profiles are derived with the per-mini-suite scale
+factors below (back-derived from the paper's Table II).  Applications with
+several inputs per size get deterministic per-input jitter, except where the
+paper anchors a specific input (603.bwaves_s in1/in2, Table IX).
+
+Input multiplicity: the paper counts 69/61/64 distinct pairs for
+test/train/ref.  It names the ten multi-input applications but not their
+exact input counts, so the counts below are chosen to reproduce the paper's
+totals exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .profile import GIB, MIB
+
+#: Branch-subtype mix presets (conditional, direct jump, direct call,
+#: indirect jump, indirect return).  Calls and returns are kept equal so the
+#: synthetic call/return stream is balanced.
+BMIX_DEFAULT = (0.786, 0.080, 0.064, 0.006, 0.064)
+BMIX_INTERP = (0.700, 0.080, 0.100, 0.020, 0.100)   # interpreters (perl, gcc)
+BMIX_OOP = (0.740, 0.080, 0.080, 0.020, 0.080)       # pointer-chasing C++
+BMIX_GAME = (0.820, 0.060, 0.055, 0.010, 0.055)      # game-tree search
+BMIX_FP = (0.870, 0.050, 0.038, 0.004, 0.038)        # loopy Fortran/C fp
+BMIX_FP_CALLY = (0.800, 0.060, 0.068, 0.004, 0.068)  # fp with deep call trees
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """Reference (ref-input) characterization anchors for one application.
+
+    Percentages are expressed as percents (0-100) exactly as the paper
+    reports them; footprints are in bytes; instruction counts in billions of
+    micro-ops; times in seconds.
+    """
+
+    name: str
+    suite: str                      # rate_int | rate_fp | speed_int | speed_fp
+    lang: str
+    inputs: Tuple[int, int, int]    # number of inputs for (test, train, ref)
+    instr_e9: float                 # dynamic micro-ops, billions (ref)
+    ipc: float                      # measured IPC anchor (ref)
+    time_s: float                   # measured wall-clock seconds (ref)
+    loads_pct: float
+    stores_pct: float
+    branches_pct: float
+    l1_miss_pct: float
+    l2_miss_pct: float
+    l3_miss_pct: float
+    mispredict_pct: float
+    rss_bytes: float
+    vsz_bytes: float
+    bmix: Tuple[float, float, float, float, float] = BMIX_DEFAULT
+    threads: int = 1
+    #: Explicit per-input overrides for the ref size, keyed by input index
+    #: (0-based) then field name.  Used for the pairs the paper anchors
+    #: individually (e.g. 603.bwaves_s in1/in2 of Table IX).
+    ref_input_overrides: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Input sizes whose collection failed in the paper ("test", "ref", ...).
+    collection_errors: Tuple[str, ...] = ()
+    description: str = ""
+
+
+def _gib(value: float) -> float:
+    return value * GIB
+
+
+def _mib(value: float) -> float:
+    return value * MIB
+
+
+#: Instruction-count scale factors (test, train) relative to ref, derived
+#: from the paper's Table II averages per mini-suite.
+SIZE_INSTR_SCALE: Dict[str, Tuple[float, float]] = {
+    "rate_int": (0.0439, 0.1316),
+    "rate_fp": (0.0207, 0.1559),
+    "speed_int": (0.0340, 0.1028),
+    "speed_fp": (0.0027, 0.0218),
+}
+
+#: Footprint scale factors (test, train) relative to ref.  Smaller inputs
+#: touch far less data; reserved address space shrinks less than RSS.
+SIZE_RSS_SCALE: Dict[str, Tuple[float, float]] = {
+    "rate_int": (0.15, 0.45),
+    "rate_fp": (0.12, 0.40),
+    "speed_int": (0.10, 0.35),
+    "speed_fp": (0.05, 0.25),
+}
+
+#: Cache-pressure scale (test, train): smaller inputs fit deeper in the
+#: hierarchy, so miss rates shrink (multiplicative on each level's rate).
+SIZE_MISS_SCALE: Dict[str, Tuple[float, float]] = {
+    "rate_int": (0.55, 0.80),
+    "rate_fp": (0.50, 0.78),
+    "speed_int": (0.50, 0.78),
+    "speed_fp": (0.45, 0.75),
+}
+
+#: IPC multipliers (test, train) relative to ref, from Table II (IPC is
+#: nearly size-invariant; speed-fp test IPC dips slightly).
+SIZE_IPC_SCALE: Dict[str, Tuple[float, float]] = {
+    "rate_int": (0.995, 1.024),
+    "rate_fp": (1.035, 1.010),
+    "speed_int": (1.039, 1.064),
+    "speed_fp": (0.965, 1.006),
+}
+
+
+APP_RECORDS: Tuple[AppRecord, ...] = (
+    # ------------------------------------------------------------------
+    # SPECrate 2017 Integer (10 applications)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "500.perlbench_r", "rate_int", "C", (3, 3, 3),
+        instr_e9=1800.0, ipc=2.18, time_s=458.7,
+        loads_pct=27.0, stores_pct=11.0, branches_pct=21.0,
+        l1_miss_pct=1.2, l2_miss_pct=25.0, l3_miss_pct=8.0,
+        mispredict_pct=1.5,
+        rss_bytes=_gib(0.50), vsz_bytes=_gib(0.58), bmix=BMIX_INTERP,
+        collection_errors=("test",),  # paper: test.pl perf failure
+        description="Perl interpreter running mail-processing scripts",
+    ),
+    AppRecord(
+        "502.gcc_r", "rate_int", "C", (6, 4, 5),
+        instr_e9=1200.0, ipc=1.40, time_s=476.2,
+        loads_pct=26.0, stores_pct=11.0, branches_pct=21.0,
+        l1_miss_pct=2.5, l2_miss_pct=35.0, l3_miss_pct=20.0,
+        mispredict_pct=2.2,
+        rss_bytes=_gib(1.00), vsz_bytes=_gib(1.15), bmix=BMIX_INTERP,
+        description="GNU C compiler compiling large source files",
+    ),
+    AppRecord(
+        "505.mcf_r", "rate_int", "C", (1, 1, 1),
+        instr_e9=1000.0, ipc=0.886,  # paper: lowest rate-int IPC
+        time_s=627.1,
+        loads_pct=25.0, stores_pct=8.0,
+        branches_pct=31.277,  # paper: highest branch percentage (rate)
+        l1_miss_pct=9.5,
+        l2_miss_pct=65.721,  # paper: highest rate-int L2 miss rate
+        l3_miss_pct=30.0,
+        mispredict_pct=5.5,
+        rss_bytes=_gib(0.55), vsz_bytes=_gib(0.62), bmix=BMIX_OOP,
+        description="Vehicle-scheduling combinatorial optimization",
+    ),
+    AppRecord(
+        "520.omnetpp_r", "rate_int", "C++", (1, 1, 1),
+        instr_e9=1000.0, ipc=1.00, time_s=555.6,
+        loads_pct=28.0, stores_pct=10.0, branches_pct=20.0,
+        l1_miss_pct=4.5, l2_miss_pct=45.0, l3_miss_pct=35.0,
+        mispredict_pct=3.0,
+        rss_bytes=_gib(0.25), vsz_bytes=_gib(0.31), bmix=BMIX_OOP,
+        description="Discrete-event simulation of a 10 Gb Ethernet network",
+    ),
+    AppRecord(
+        "523.xalancbmk_r", "rate_int", "C++", (1, 1, 1),
+        instr_e9=1100.0, ipc=1.50, time_s=407.4,
+        loads_pct=29.151,  # paper: highest rate-int load percentage
+        stores_pct=9.0, branches_pct=25.0,
+        l1_miss_pct=12.174,  # paper: highest rate-int L1 miss rate
+        l2_miss_pct=30.0, l3_miss_pct=12.0,
+        mispredict_pct=1.8,
+        rss_bytes=_gib(0.45), vsz_bytes=_gib(0.52), bmix=BMIX_OOP,
+        description="XSLT processor transforming XML to HTML",
+    ),
+    AppRecord(
+        "525.x264_r", "rate_int", "C", (4, 3, 3),
+        instr_e9=3000.0, ipc=3.024,  # paper: highest rate-int IPC
+        time_s=551.1,
+        loads_pct=28.0, stores_pct=12.0, branches_pct=7.0,
+        l1_miss_pct=0.8, l2_miss_pct=20.0, l3_miss_pct=5.0,
+        mispredict_pct=1.0,
+        rss_bytes=_gib(0.15), vsz_bytes=_gib(0.21),
+        description="H.264 video encoder",
+    ),
+    AppRecord(
+        "531.deepsjeng_r", "rate_int", "C++", (1, 1, 1),
+        instr_e9=1600.0, ipc=1.52, time_s=584.8,
+        loads_pct=24.0, stores_pct=9.0, branches_pct=19.0,
+        l1_miss_pct=1.5, l2_miss_pct=30.0,
+        l3_miss_pct=67.516,  # paper: highest rate-int L3 miss rate
+        mispredict_pct=4.5,
+        rss_bytes=_gib(0.70), vsz_bytes=_gib(0.78), bmix=BMIX_GAME,
+        description="Alpha-beta chess search (deep positional analysis)",
+    ),
+    AppRecord(
+        "541.leela_r", "rate_int", "C++", (1, 1, 1),
+        instr_e9=1800.0, ipc=1.45, time_s=689.7,
+        loads_pct=23.0, stores_pct=10.0, branches_pct=16.0,
+        l1_miss_pct=1.0, l2_miss_pct=22.0, l3_miss_pct=10.0,
+        mispredict_pct=8.656,  # paper: highest mispredict rate (all apps)
+        rss_bytes=_gib(0.02), vsz_bytes=_gib(0.08), bmix=BMIX_GAME,
+        description="Monte-Carlo tree search Go engine",
+    ),
+    AppRecord(
+        "548.exchange2_r", "rate_int", "Fortran", (1, 1, 1),
+        instr_e9=3200.0, ipc=2.54, time_s=699.9,
+        loads_pct=26.0,
+        stores_pct=15.911,  # paper: highest int store percentage
+        branches_pct=17.0,
+        l1_miss_pct=0.3, l2_miss_pct=10.0, l3_miss_pct=2.0,
+        mispredict_pct=2.0,
+        rss_bytes=_mib(1.148),  # paper: smallest RSS of all apps
+        vsz_bytes=_mib(15.160),  # paper: smallest VSZ of all apps
+        bmix=BMIX_FP,
+        description="Recursive Sudoku-solver (entirely cache-resident)",
+    ),
+    AppRecord(
+        "557.xz_r", "rate_int", "C", (4, 3, 3),
+        instr_e9=1815.0, ipc=1.741,  # paper: quoted against 657.xz_s
+        time_s=579.2,
+        loads_pct=20.0, stores_pct=6.0, branches_pct=14.0,
+        l1_miss_pct=3.5, l2_miss_pct=55.0, l3_miss_pct=40.0,
+        mispredict_pct=3.0,
+        rss_bytes=_gib(0.95), vsz_bytes=_gib(1.08),
+        description="LZMA compression/decompression",
+    ),
+    # ------------------------------------------------------------------
+    # SPECrate 2017 Floating Point (13 applications)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "503.bwaves_r", "rate_fp", "Fortran", (2, 2, 2),
+        instr_e9=2300.0, ipc=1.55, time_s=824.4,
+        loads_pct=27.5, stores_pct=5.0, branches_pct=13.4,
+        l1_miss_pct=2.2, l2_miss_pct=40.0, l3_miss_pct=25.0,
+        mispredict_pct=0.8,
+        rss_bytes=_gib(0.80), vsz_bytes=_gib(0.88), bmix=BMIX_FP,
+        description="Blast-wave CFD solver (block tri-diagonal)",
+    ),
+    AppRecord(
+        "507.cactuBSSN_r", "rate_fp", "C++/C/Fortran", (1, 1, 1),
+        instr_e9=2000.0, ipc=1.25, time_s=888.9,
+        loads_pct=39.786,  # paper: highest load percentage (all apps)
+        stores_pct=8.589,  # paper: 48.375% total memory micro-ops
+        branches_pct=4.0,
+        l1_miss_pct=19.485,  # paper: highest rate-fp L1 miss rate
+        l2_miss_pct=28.0, l3_miss_pct=15.0,
+        mispredict_pct=0.7,
+        rss_bytes=_gib(0.75), vsz_bytes=_gib(0.84), bmix=BMIX_FP,
+        description="Numerical-relativity BSSN equations (Cactus framework)",
+    ),
+    AppRecord(
+        "508.namd_r", "rate_fp", "C++", (1, 1, 1),
+        instr_e9=2200.0, ipc=2.265,  # paper: highest rate-fp IPC
+        time_s=539.6,
+        loads_pct=24.0, stores_pct=5.0, branches_pct=5.0,
+        l1_miss_pct=0.9, l2_miss_pct=12.0, l3_miss_pct=5.0,
+        mispredict_pct=1.2,
+        rss_bytes=_gib(0.05), vsz_bytes=_gib(0.12), bmix=BMIX_FP,
+        description="Molecular-dynamics simulation of biomolecules",
+    ),
+    AppRecord(
+        "510.parest_r", "rate_fp", "C++", (1, 1, 1),
+        instr_e9=2800.0, ipc=1.55, time_s=1003.6,
+        loads_pct=26.0, stores_pct=6.0, branches_pct=12.0,
+        l1_miss_pct=2.0, l2_miss_pct=25.0, l3_miss_pct=10.0,
+        mispredict_pct=1.0,
+        rss_bytes=_gib(0.40), vsz_bytes=_gib(0.47), bmix=BMIX_FP_CALLY,
+        description="Finite-element biomedical parameter estimation",
+    ),
+    AppRecord(
+        "511.povray_r", "rate_fp", "C++/C", (1, 1, 1),
+        instr_e9=2700.0, ipc=2.00, time_s=750.0,
+        loads_pct=30.0, stores_pct=9.0, branches_pct=14.0,
+        l1_miss_pct=0.5, l2_miss_pct=8.0, l3_miss_pct=3.0,
+        mispredict_pct=2.2,
+        rss_bytes=_mib(4.0), vsz_bytes=_mib(40.0), bmix=BMIX_FP_CALLY,
+        description="Ray tracer rendering a 2560x2048 scene",
+    ),
+    AppRecord(
+        "519.lbm_r", "rate_fp", "C", (1, 1, 1),
+        instr_e9=1300.0, ipc=1.20, time_s=601.9,
+        loads_pct=25.0,
+        stores_pct=13.076,  # paper: highest fp store percentage (rate)
+        branches_pct=1.198,  # paper: lowest branch percentage (all apps)
+        l1_miss_pct=5.5, l2_miss_pct=50.0, l3_miss_pct=30.0,
+        mispredict_pct=0.1,
+        rss_bytes=_gib(0.41), vsz_bytes=_gib(0.48), bmix=BMIX_FP,
+        description="Lattice-Boltzmann fluid dynamics",
+    ),
+    AppRecord(
+        "521.wrf_r", "rate_fp", "Fortran/C", (1, 1, 1),
+        instr_e9=2900.0, ipc=1.70, time_s=947.7,
+        loads_pct=28.0, stores_pct=7.0, branches_pct=10.0,
+        l1_miss_pct=2.5, l2_miss_pct=30.0, l3_miss_pct=12.0,
+        mispredict_pct=1.5,
+        rss_bytes=_gib(0.20), vsz_bytes=_gib(0.30), bmix=BMIX_FP,
+        description="Weather research and forecasting model",
+    ),
+    AppRecord(
+        "526.blender_r", "rate_fp", "C++/C", (1, 1, 1),
+        instr_e9=1900.0, ipc=1.62, time_s=651.6,
+        loads_pct=26.0, stores_pct=8.0, branches_pct=13.0,
+        l1_miss_pct=1.5, l2_miss_pct=18.0, l3_miss_pct=8.0,
+        mispredict_pct=2.0,
+        rss_bytes=_gib(0.50), vsz_bytes=_gib(0.60), bmix=BMIX_FP_CALLY,
+        description="3D rendering of a production scene",
+    ),
+    AppRecord(
+        "527.cam4_r", "rate_fp", "Fortran/C", (1, 1, 1),
+        instr_e9=2600.0, ipc=1.75, time_s=825.4,
+        loads_pct=27.0, stores_pct=8.0, branches_pct=12.0,
+        l1_miss_pct=2.2, l2_miss_pct=28.0, l3_miss_pct=14.0,
+        mispredict_pct=1.3,
+        rss_bytes=_gib(0.90), vsz_bytes=_gib(1.00), bmix=BMIX_FP,
+        description="Community Atmosphere Model climate simulation",
+    ),
+    AppRecord(
+        "538.imagick_r", "rate_fp", "C", (1, 1, 1),
+        instr_e9=3300.0, ipc=1.95, time_s=940.2,
+        loads_pct=25.0, stores_pct=7.0, branches_pct=11.0,
+        l1_miss_pct=0.7, l2_miss_pct=15.0, l3_miss_pct=5.0,
+        mispredict_pct=0.9,
+        rss_bytes=_gib(0.30), vsz_bytes=_gib(0.38), bmix=BMIX_FP,
+        description="ImageMagick image-transformation pipeline",
+    ),
+    AppRecord(
+        "544.nab_r", "rate_fp", "C", (1, 1, 1),
+        instr_e9=2400.0, ipc=1.75, time_s=761.9,
+        loads_pct=27.0, stores_pct=6.0, branches_pct=10.0,
+        l1_miss_pct=1.1, l2_miss_pct=14.0, l3_miss_pct=6.0,
+        mispredict_pct=1.6,
+        rss_bytes=_gib(0.15), vsz_bytes=_gib(0.22), bmix=BMIX_FP,
+        description="Nucleic-acid builder molecular modeling",
+    ),
+    AppRecord(
+        "549.fotonik3d_r", "rate_fp", "Fortran", (1, 1, 1),
+        instr_e9=1500.0, ipc=1.117,  # paper: lowest rate-fp IPC
+        time_s=746.1,
+        loads_pct=28.0, stores_pct=6.0, branches_pct=9.0,
+        l1_miss_pct=4.0,
+        l2_miss_pct=71.609,  # paper: highest rate L2 miss rate
+        l3_miss_pct=54.730,  # paper: highest rate-fp L3 miss rate
+        mispredict_pct=0.3,
+        rss_bytes=_gib(0.85), vsz_bytes=_gib(0.95), bmix=BMIX_FP,
+        description="FDTD electromagnetic wave solver (photonics)",
+    ),
+    AppRecord(
+        "554.roms_r", "rate_fp", "Fortran", (1, 1, 1),
+        instr_e9=1879.0, ipc=1.55, time_s=673.5,
+        loads_pct=28.0, stores_pct=7.0, branches_pct=11.0,
+        l1_miss_pct=2.8, l2_miss_pct=35.0, l3_miss_pct=20.0,
+        mispredict_pct=1.0,
+        rss_bytes=_gib(0.18), vsz_bytes=_gib(0.26), bmix=BMIX_FP,
+        description="Regional ocean modeling system",
+    ),
+    # ------------------------------------------------------------------
+    # SPECspeed 2017 Integer (10 applications)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "600.perlbench_s", "speed_int", "C", (3, 3, 3),
+        instr_e9=2200.0, ipc=2.15, time_s=568.5,
+        loads_pct=27.0, stores_pct=11.0, branches_pct=21.0,
+        l1_miss_pct=1.3, l2_miss_pct=26.0, l3_miss_pct=9.0,
+        mispredict_pct=1.5,
+        rss_bytes=_gib(0.60), vsz_bytes=_gib(0.70), bmix=BMIX_INTERP,
+        collection_errors=("test",),  # paper: test.pl perf failure
+        description="Perl interpreter (speed version)",
+    ),
+    AppRecord(
+        "602.gcc_s", "speed_int", "C", (6, 3, 4),
+        instr_e9=1500.0, ipc=1.40, time_s=595.2,
+        loads_pct=26.0, stores_pct=11.0, branches_pct=21.0,
+        l1_miss_pct=2.6, l2_miss_pct=36.0, l3_miss_pct=22.0,
+        mispredict_pct=2.3,
+        rss_bytes=_gib(1.30), vsz_bytes=_gib(1.48), bmix=BMIX_INTERP,
+        description="GNU C compiler (speed version)",
+    ),
+    AppRecord(
+        "605.mcf_s", "speed_int", "C", (1, 1, 1),
+        instr_e9=1300.0, ipc=0.88, time_s=820.7,
+        loads_pct=29.581,  # paper: highest speed-int load percentage
+        stores_pct=8.0,
+        branches_pct=32.939,  # paper: highest branch percentage (speed)
+        l1_miss_pct=14.138,  # paper: highest speed-int L1 miss rate
+        l2_miss_pct=77.824,  # paper: highest L2 miss rate (all apps)
+        l3_miss_pct=35.0,
+        mispredict_pct=5.6,
+        rss_bytes=_gib(3.00), vsz_bytes=_gib(3.30), bmix=BMIX_OOP,
+        description="Vehicle scheduling (speed version, larger graph)",
+    ),
+    AppRecord(
+        "620.omnetpp_s", "speed_int", "C++", (1, 1, 1),
+        instr_e9=1200.0, ipc=0.97, time_s=687.3,
+        loads_pct=28.0, stores_pct=10.0, branches_pct=20.0,
+        l1_miss_pct=4.6, l2_miss_pct=46.0, l3_miss_pct=36.0,
+        mispredict_pct=3.0,
+        rss_bytes=_gib(0.25), vsz_bytes=_gib(0.33), bmix=BMIX_OOP,
+        description="Discrete-event network simulation (speed version)",
+    ),
+    AppRecord(
+        "623.xalancbmk_s", "speed_int", "C++", (1, 1, 1),
+        instr_e9=1300.0, ipc=1.42, time_s=508.6,
+        loads_pct=28.5, stores_pct=9.0, branches_pct=25.0,
+        l1_miss_pct=11.5, l2_miss_pct=31.0, l3_miss_pct=13.0,
+        mispredict_pct=1.8,
+        rss_bytes=_gib(0.48), vsz_bytes=_gib(0.56), bmix=BMIX_OOP,
+        description="XSLT processor (speed version)",
+    ),
+    AppRecord(
+        "625.x264_s", "speed_int", "C", (3, 3, 3),
+        instr_e9=3800.0, ipc=3.038,  # paper: highest speed-int IPC
+        time_s=694.9,
+        loads_pct=28.0, stores_pct=12.0, branches_pct=7.0,
+        l1_miss_pct=0.8, l2_miss_pct=21.0, l3_miss_pct=5.0,
+        mispredict_pct=1.0,
+        rss_bytes=_gib(0.40), vsz_bytes=_gib(0.48),
+        description="H.264 video encoder (speed version)",
+    ),
+    AppRecord(
+        "631.deepsjeng_s", "speed_int", "C++", (1, 1, 1),
+        instr_e9=2100.0, ipc=1.50, time_s=777.8,
+        loads_pct=24.0, stores_pct=9.0, branches_pct=19.0,
+        l1_miss_pct=1.6, l2_miss_pct=31.0,
+        l3_miss_pct=68.579,  # paper: highest L3 miss rate (all apps)
+        mispredict_pct=4.6,
+        rss_bytes=_gib(6.80), vsz_bytes=_gib(7.20), bmix=BMIX_GAME,
+        description="Chess search with large transposition table",
+    ),
+    AppRecord(
+        "641.leela_s", "speed_int", "C++", (1, 1, 1),
+        instr_e9=2300.0, ipc=1.44, time_s=887.3,
+        loads_pct=23.0, stores_pct=10.0, branches_pct=16.0,
+        l1_miss_pct=1.0, l2_miss_pct=23.0, l3_miss_pct=10.0,
+        mispredict_pct=8.636,  # paper: highest speed mispredict rate
+        rss_bytes=_gib(0.02), vsz_bytes=_gib(0.09), bmix=BMIX_GAME,
+        description="Go engine (speed version)",
+    ),
+    AppRecord(
+        "648.exchange2_s", "speed_int", "Fortran", (1, 1, 1),
+        instr_e9=4200.0, ipc=2.65, time_s=880.5,
+        loads_pct=26.0,
+        stores_pct=15.910,  # paper: highest speed store percentage
+        branches_pct=17.0,
+        l1_miss_pct=0.3, l2_miss_pct=11.0, l3_miss_pct=2.0,
+        mispredict_pct=2.0,
+        rss_bytes=_mib(1.2), vsz_bytes=_mib(15.8), bmix=BMIX_FP,
+        description="Recursive Sudoku solver (speed version)",
+    ),
+    AppRecord(
+        "657.xz_s", "speed_int", "C", (3, 2, 3),
+        instr_e9=2752.0, ipc=0.903,  # paper: lowest speed-int IPC
+        time_s=846.6,
+        loads_pct=21.0, stores_pct=6.5, branches_pct=15.0,
+        l1_miss_pct=5.5, l2_miss_pct=60.0, l3_miss_pct=45.0,
+        mispredict_pct=3.2,
+        rss_bytes=_gib(12.385),  # paper: largest RSS of all apps
+        vsz_bytes=_gib(15.422),  # paper: largest VSZ of all apps
+        threads=4,
+        description="LZMA compression over a very large corpus (OpenMP)",
+    ),
+    # ------------------------------------------------------------------
+    # SPECspeed 2017 Floating Point (10 applications, OpenMP, 4 threads)
+    # ------------------------------------------------------------------
+    AppRecord(
+        "603.bwaves_s", "speed_fp", "Fortran", (2, 2, 2),
+        instr_e9=49452.6, ipc=0.55, time_s=1400.0,
+        loads_pct=27.43, stores_pct=5.00, branches_pct=13.46,
+        l1_miss_pct=3.0, l2_miss_pct=45.0, l3_miss_pct=28.0,
+        mispredict_pct=0.8,
+        rss_bytes=_gib(11.71), vsz_bytes=_gib(12.11),
+        bmix=BMIX_FP, threads=4,
+        ref_input_overrides={
+            # Table IX anchors both ref inputs individually.
+            0: {"instr_e9": 48788.718, "loads_pct": 27.545,
+                "stores_pct": 4.982, "branches_pct": 13.416,
+                "rss_bytes": _gib(11.677), "vsz_bytes": _gib(12.078),
+                "time_s": 1380.0},
+            1: {"instr_e9": 50116.477, "loads_pct": 27.320,
+                "stores_pct": 5.015, "branches_pct": 13.497,
+                "rss_bytes": _gib(11.750), "vsz_bytes": _gib(12.145),
+                "time_s": 1420.0},
+        },
+        description="Blast-wave CFD (speed version, Table IX anchor)",
+    ),
+    AppRecord(
+        "607.cactuBSSN_s", "speed_fp", "C++/C/Fortran", (1, 1, 1),
+        instr_e9=10616.666,  # paper (Table IX)
+        ipc=0.75, time_s=700.0,
+        loads_pct=33.536,  # paper (Table IX)
+        stores_pct=7.610,  # paper (Table IX)
+        branches_pct=3.734,  # paper (Table IX)
+        l1_miss_pct=14.584,  # paper: highest speed-fp L1 miss rate
+        l2_miss_pct=30.0, l3_miss_pct=18.0,
+        mispredict_pct=0.7,
+        rss_bytes=_gib(6.885), vsz_bytes=_gib(7.287),  # paper (Table IX)
+        bmix=BMIX_FP, threads=4,
+        description="Numerical relativity (speed version, Table IX anchor)",
+    ),
+    AppRecord(
+        "619.lbm_s", "speed_fp", "C", (1, 1, 1),
+        instr_e9=3000.0, ipc=0.062,  # paper: lowest IPC of all apps
+        time_s=900.0,
+        loads_pct=25.0,
+        stores_pct=13.480,  # paper: highest fp store percentage (speed)
+        branches_pct=3.646,  # paper: lowest speed branch percentage
+        l1_miss_pct=6.5, l2_miss_pct=55.0, l3_miss_pct=38.0,
+        mispredict_pct=0.15,
+        rss_bytes=_gib(3.20), vsz_bytes=_gib(3.50), bmix=BMIX_FP, threads=4,
+        description="Lattice-Boltzmann (speed version, memory-bandwidth bound)",
+    ),
+    AppRecord(
+        "621.wrf_s", "speed_fp", "Fortran/C", (1, 1, 1),
+        instr_e9=7685.0, ipc=0.70,
+        time_s=762.382,  # paper (Table X cluster example)
+        loads_pct=27.0, stores_pct=7.0, branches_pct=10.0,
+        l1_miss_pct=3.0, l2_miss_pct=34.0, l3_miss_pct=16.0,
+        mispredict_pct=1.5,
+        rss_bytes=_gib(2.80), vsz_bytes=_gib(3.10), bmix=BMIX_FP, threads=4,
+        description="Weather forecasting (speed version)",
+    ),
+    AppRecord(
+        "627.cam4_s", "speed_fp", "Fortran/C", (1, 1, 1),
+        instr_e9=12000.0, ipc=0.60, time_s=700.0,
+        loads_pct=26.0, stores_pct=8.0, branches_pct=12.0,
+        l1_miss_pct=2.5, l2_miss_pct=30.0, l3_miss_pct=17.0,
+        mispredict_pct=1.3,
+        rss_bytes=_gib(1.20), vsz_bytes=_gib(1.40), bmix=BMIX_FP, threads=4,
+        collection_errors=("test", "train", "ref"),  # paper: perf failures
+        description="Climate model (speed version; perf collection failed "
+                    "for all input sizes in the paper)",
+    ),
+    AppRecord(
+        "628.pop2_s", "speed_fp", "Fortran/C", (1, 1, 1),
+        instr_e9=19152.0, ipc=1.642,  # paper: highest speed-fp IPC
+        time_s=1619.982,  # paper (Table X cluster example)
+        loads_pct=26.0, stores_pct=7.0, branches_pct=13.0,
+        l1_miss_pct=1.8, l2_miss_pct=25.0, l3_miss_pct=12.0,
+        mispredict_pct=1.2,
+        rss_bytes=_gib(1.40), vsz_bytes=_gib(1.65), bmix=BMIX_FP, threads=4,
+        description="Parallel ocean program (speed-only application)",
+    ),
+    AppRecord(
+        "638.imagick_s", "speed_fp", "C", (1, 1, 1),
+        instr_e9=4201.0, ipc=1.20,
+        time_s=486.279,  # paper (Table X cluster example)
+        loads_pct=24.0, stores_pct=7.0, branches_pct=11.0,
+        l1_miss_pct=0.8, l2_miss_pct=16.0, l3_miss_pct=6.0,
+        mispredict_pct=0.9,
+        rss_bytes=_gib(2.70), vsz_bytes=_gib(3.00), bmix=BMIX_FP, threads=4,
+        description="ImageMagick (speed version)",
+    ),
+    AppRecord(
+        "644.nab_s", "speed_fp", "C", (1, 1, 1),
+        instr_e9=1077.8, ipc=0.45,
+        time_s=332.640,  # paper (Table X cluster example)
+        loads_pct=26.0, stores_pct=6.0, branches_pct=10.0,
+        l1_miss_pct=1.3, l2_miss_pct=16.0, l3_miss_pct=8.0,
+        mispredict_pct=1.6,
+        rss_bytes=_gib(0.60), vsz_bytes=_gib(0.75), bmix=BMIX_FP, threads=4,
+        description="Molecular modeling (speed version)",
+    ),
+    AppRecord(
+        "649.fotonik3d_s", "speed_fp", "Fortran", (1, 1, 1),
+        instr_e9=9000.0, ipc=0.28, time_s=1000.0,
+        loads_pct=27.0, stores_pct=6.0, branches_pct=9.0,
+        l1_miss_pct=4.5,
+        l2_miss_pct=66.291,  # paper: highest speed L2 miss rate
+        l3_miss_pct=41.369,  # paper: highest speed-fp L3 miss rate
+        mispredict_pct=0.3,
+        rss_bytes=_gib(9.50), vsz_bytes=_gib(10.20), bmix=BMIX_FP, threads=4,
+        description="FDTD photonics solver (speed version)",
+    ),
+    AppRecord(
+        "654.roms_s", "speed_fp", "Fortran", (1, 1, 1),
+        instr_e9=6000.0, ipc=0.82, time_s=600.0,
+        loads_pct=11.504,  # paper: lowest load percentage (all apps)
+        stores_pct=0.895,  # paper: lowest store percentage (all apps)
+        branches_pct=8.0,
+        l1_miss_pct=3.2, l2_miss_pct=38.0, l3_miss_pct=24.0,
+        mispredict_pct=1.0,
+        rss_bytes=_gib(8.70), vsz_bytes=_gib(9.40), bmix=BMIX_FP, threads=4,
+        description="Ocean model (speed version)",
+    ),
+)
+
+#: Expected distinct pair counts per input size (paper Section II).
+EXPECTED_PAIR_COUNTS = {"test": 69, "train": 61, "ref": 64}
+
+#: Names of the applications that exist only in one version (paper
+#: Section II): rate-only and speed-only applications.
+RATE_ONLY = ("508.namd_r", "510.parest_r", "511.povray_r", "526.blender_r")
+SPEED_ONLY = ("628.pop2_s",)
+
+
+def records_by_suite(suite: str) -> Tuple[AppRecord, ...]:
+    """All ref records belonging to one mini-suite, in SPEC-number order."""
+    return tuple(r for r in APP_RECORDS if r.suite == suite)

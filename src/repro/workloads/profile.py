@@ -1,0 +1,272 @@
+"""Workload profile dataclasses.
+
+A :class:`WorkloadProfile` is the microarchitecture-independent description
+of one application-input pair.  It records what the paper's Table VIII calls
+"characteristics" (instruction mix, branch-subtype mix, memory footprint)
+plus behavioral targets (cache-level working-set mixture, branch
+predictability) used by :mod:`repro.workloads.calibrate` to tune the
+synthetic trace generator.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..errors import WorkloadError
+
+_FRACTION_TOL = 1e-6
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+class InputSize(enum.Enum):
+    """SPEC input data-set sizes, smallest to largest."""
+
+    TEST = "test"
+    TRAIN = "train"
+    REF = "ref"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class MiniSuite(enum.Enum):
+    """The four CPU2017 mini-suites (and the two CPU2006 halves)."""
+
+    RATE_INT = "rate_int"
+    RATE_FP = "rate_fp"
+    SPEED_INT = "speed_int"
+    SPEED_FP = "speed_fp"
+    # CPU2006 has no rate/speed split relevant to the paper's comparison;
+    # its applications are tagged with these two members.
+    CPU06_INT = "cpu06_int"
+    CPU06_FP = "cpu06_fp"
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (MiniSuite.RATE_INT, MiniSuite.SPEED_INT, MiniSuite.CPU06_INT)
+
+    @property
+    def is_floating_point(self) -> bool:
+        return not self.is_integer
+
+    @property
+    def is_speed(self) -> bool:
+        return self in (MiniSuite.SPEED_INT, MiniSuite.SPEED_FP)
+
+    @property
+    def is_rate(self) -> bool:
+        return self in (MiniSuite.RATE_INT, MiniSuite.RATE_FP)
+
+    @property
+    def is_cpu2006(self) -> bool:
+        return self in (MiniSuite.CPU06_INT, MiniSuite.CPU06_FP)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError("%s must be in [0, 1], got %r" % (name, value))
+
+
+@dataclass(frozen=True)
+class BranchMix:
+    """Breakdown of branch instructions by subtype (fractions sum to 1).
+
+    These mirror the ``br_inst_exec.*`` perf counters the paper uses:
+    conditional branches, direct jumps, direct near calls, indirect jumps
+    (non call/ret), and indirect near returns.
+    """
+
+    conditional: float = 0.786
+    direct_jump: float = 0.08
+    direct_call: float = 0.064
+    indirect_jump: float = 0.006
+    indirect_return: float = 0.064
+
+    def __post_init__(self) -> None:
+        for name in ("conditional", "direct_jump", "direct_call",
+                     "indirect_jump", "indirect_return"):
+            _check_fraction("BranchMix.%s" % name, getattr(self, name))
+        if abs(self.total - 1.0) > 1e-3:
+            raise WorkloadError(
+                "branch mix fractions must sum to 1 (got %.6f)" % self.total
+            )
+
+    @property
+    def total(self) -> float:
+        return (self.conditional + self.direct_jump + self.direct_call
+                + self.indirect_jump + self.indirect_return)
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        """Fractions in counter order (conditional, djmp, call, ijmp, ret)."""
+        return (self.conditional, self.direct_jump, self.direct_call,
+                self.indirect_jump, self.indirect_return)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of retired micro-ops by kind.
+
+    The remainder (1 - loads - stores - branches) is generic ALU work.
+    """
+
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    branch_mix: BranchMix = field(default_factory=BranchMix)
+
+    def __post_init__(self) -> None:
+        _check_fraction("load_fraction", self.load_fraction)
+        _check_fraction("store_fraction", self.store_fraction)
+        _check_fraction("branch_fraction", self.branch_fraction)
+        if self.memory_fraction + self.branch_fraction > 1.0 + _FRACTION_TOL:
+            raise WorkloadError(
+                "loads+stores+branches exceed 1.0 "
+                "(%.4f + %.4f + %.4f)"
+                % (self.load_fraction, self.store_fraction, self.branch_fraction)
+            )
+
+    @property
+    def memory_fraction(self) -> float:
+        """Combined load + store micro-op fraction."""
+        return self.load_fraction + self.store_fraction
+
+    @property
+    def alu_fraction(self) -> float:
+        """Everything that is neither a memory op nor a branch."""
+        return max(0.0, 1.0 - self.memory_fraction - self.branch_fraction)
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Memory-system behavior targets and footprint of one pair.
+
+    The target miss rates are *load* miss rates at each level, as measured by
+    the paper's ``mem_load_uops_retired.l{1,2,3}_{hit,miss}`` counters on the
+    Table-I machine.  The trace generator is calibrated so that simulating
+    the synthetic trace against the Table-I cache hierarchy reproduces these
+    rates; on other configurations the simulated rates respond to the
+    configuration, which is what the cache-ablation bench exercises.
+    """
+
+    target_l1_miss_rate: float
+    target_l2_miss_rate: float
+    target_l3_miss_rate: float
+    rss_bytes: float
+    vsz_bytes: float
+
+    def __post_init__(self) -> None:
+        for name in ("target_l1_miss_rate", "target_l2_miss_rate",
+                     "target_l3_miss_rate"):
+            _check_fraction(name, getattr(self, name))
+        if self.rss_bytes < 0 or self.vsz_bytes < 0:
+            raise WorkloadError("footprint sizes must be non-negative")
+        if self.rss_bytes > self.vsz_bytes * (1 + _FRACTION_TOL):
+            raise WorkloadError(
+                "RSS (%.0f) cannot exceed VSZ (%.0f)" % (self.rss_bytes, self.vsz_bytes)
+            )
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Branch predictability targets of one pair.
+
+    ``target_mispredict_rate`` is the fraction of *all executed branches*
+    that mispredict on the Table-I machine (``br_misp_exec.all_branches``
+    over ``br_inst_exec.all_branches``).  ``taken_bias`` is the probability
+    that an easy (strongly biased) conditional branch is taken.
+    """
+
+    target_mispredict_rate: float
+    taken_bias: float = 0.92
+
+    def __post_init__(self) -> None:
+        _check_fraction("target_mispredict_rate", self.target_mispredict_rate)
+        _check_fraction("taken_bias", self.taken_bias)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical model of one application-input pair.
+
+    Attributes:
+        benchmark: Full SPEC name, e.g. ``"505.mcf_r"``.
+        input_name: Input identifier within the size, e.g. ``"in1"``.
+        suite: Mini-suite the application belongs to.
+        input_size: SPEC input size (test/train/ref).
+        instructions: Nominal dynamic micro-op count of the native run.
+        target_ipc: IPC measured on the Table-I machine (calibration anchor).
+        exec_time_seconds: Native wall-clock execution time.
+        threads: OpenMP thread count used by the paper (4 for speed runs).
+        mix: Instruction mix.
+        memory: Memory behavior and footprint.
+        branches: Branch behavior.
+        collection_error: True for the five pairs whose perf collection
+            failed in the paper (627.cam4_s x3 and perlbench's test.pl).
+    """
+
+    benchmark: str
+    input_name: str
+    suite: MiniSuite
+    input_size: InputSize
+    instructions: float
+    target_ipc: float
+    exec_time_seconds: float
+    mix: InstructionMix
+    memory: MemoryBehavior
+    branches: BranchBehavior
+    threads: int = 1
+    collection_error: bool = False
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError("%s: instructions must be positive" % self.benchmark)
+        if self.target_ipc <= 0:
+            raise WorkloadError("%s: target_ipc must be positive" % self.benchmark)
+        if self.exec_time_seconds <= 0:
+            raise WorkloadError("%s: exec_time_seconds must be positive" % self.benchmark)
+        if self.threads <= 0:
+            raise WorkloadError("%s: threads must be positive" % self.benchmark)
+
+    @property
+    def pair_name(self) -> str:
+        """Unique pair identifier, e.g. ``"505.mcf_r/ref"`` or
+        ``"502.gcc_r-in2/ref"`` for multi-input applications."""
+        if self.input_name:
+            return "%s-%s/%s" % (self.benchmark, self.input_name, self.input_size.value)
+        return "%s/%s" % (self.benchmark, self.input_size.value)
+
+    @property
+    def short_name(self) -> str:
+        """Pair identifier without the input-size suffix (paper style)."""
+        if self.input_name:
+            return "%s-%s" % (self.benchmark, self.input_name)
+        return self.benchmark
+
+    @property
+    def number(self) -> int:
+        """The numeric SPEC id (e.g. 505 for 505.mcf_r)."""
+        head = self.benchmark.split(".", 1)[0]
+        try:
+            return int(head)
+        except ValueError:
+            return 0
+
+    def seed(self, salt: str = "") -> int:
+        """Deterministic RNG seed derived from the pair identity."""
+        digest = hashlib.sha256(
+            ("repro:%s:%s" % (self.pair_name, salt)).encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def with_input_size(self, size: InputSize, **overrides) -> "WorkloadProfile":
+        """Return a copy retargeted to a different input size."""
+        return replace(self, input_size=size, **overrides)

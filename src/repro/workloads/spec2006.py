@@ -1,0 +1,108 @@
+"""Build the SPEC CPU2006 registry from the calibration records.
+
+The paper compares CPU2017 against CPU2006 only at suite granularity
+(Tables III-VII), so each CPU2006 application carries a single input per
+size; the same size-scaling machinery as CPU2017 is reused with the
+CPU2006 suites mapped onto the rate-style scale factors.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+from .data2006 import CPU2006_RECORDS
+from .data2017 import AppRecord
+from .profile import (
+    BranchBehavior,
+    BranchMix,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+from .suite import Benchmark, BenchmarkSuite
+
+#: CPU2006 test/train scale factors (instr, rss, miss, ipc): reuse the
+#: CPU2017 rate factors, which CPU2006's input scaling resembles.
+_SCALE = {
+    "instr": (0.045, 0.13),
+    "rss": (0.15, 0.45),
+    "miss": (0.55, 0.80),
+    "ipc": (1.0, 1.0),
+}
+
+
+def _profile(record: AppRecord, size: InputSize) -> WorkloadProfile:
+    column = {"test": 0, "train": 1}.get(size.value)
+    if column is None:
+        instr_scale = rss_scale = miss_scale = ipc_scale = 1.0
+    else:
+        instr_scale = _SCALE["instr"][column]
+        rss_scale = _SCALE["rss"][column]
+        miss_scale = _SCALE["miss"][column]
+        ipc_scale = _SCALE["ipc"][column]
+
+    ipc = record.ipc * ipc_scale
+    instr_e9 = record.instr_e9 * instr_scale
+    time_s = record.time_s * instr_scale / ipc_scale
+    rss = record.rss_bytes * rss_scale
+    vsz = max(record.vsz_bytes * max(rss_scale, 0.35), rss * 1.01)
+    return WorkloadProfile(
+        benchmark=record.name,
+        input_name="",
+        suite=MiniSuite(record.suite),
+        input_size=size,
+        instructions=instr_e9 * 1e9,
+        target_ipc=ipc,
+        exec_time_seconds=time_s,
+        mix=InstructionMix(
+            load_fraction=record.loads_pct / 100.0,
+            store_fraction=record.stores_pct / 100.0,
+            branch_fraction=record.branches_pct / 100.0,
+            branch_mix=BranchMix(*record.bmix),
+        ),
+        memory=MemoryBehavior(
+            target_l1_miss_rate=min(0.95, record.l1_miss_pct / 100.0 * miss_scale),
+            target_l2_miss_rate=min(0.98, record.l2_miss_pct / 100.0 * miss_scale),
+            target_l3_miss_rate=min(0.98, record.l3_miss_pct / 100.0 * miss_scale),
+            rss_bytes=rss,
+            vsz_bytes=vsz,
+        ),
+        branches=BranchBehavior(
+            target_mispredict_rate=min(0.5, record.mispredict_pct / 100.0)
+        ),
+        threads=record.threads,
+    )
+
+
+def _benchmark(record: AppRecord) -> Benchmark:
+    profiles: Dict[InputSize, Tuple[WorkloadProfile, ...]] = {
+        size: (_profile(record, size),) for size in InputSize
+    }
+    return Benchmark(
+        name=record.name,
+        suite=MiniSuite(record.suite),
+        language=record.lang,
+        profiles=profiles,
+        description=record.description,
+    )
+
+
+@lru_cache(maxsize=1)
+def cpu2006() -> BenchmarkSuite:
+    """The SPEC CPU2006 registry: 29 applications (12 int, 17 fp)."""
+    suite = BenchmarkSuite(
+        "SPEC CPU2006", [_benchmark(r) for r in CPU2006_RECORDS]
+    )
+    if len(suite) != 29:
+        raise WorkloadError("CPU2006 must have 29 applications, got %d" % len(suite))
+    int_count = len(list(suite.mini_suite(MiniSuite.CPU06_INT)))
+    fp_count = len(list(suite.mini_suite(MiniSuite.CPU06_FP)))
+    if (int_count, fp_count) != (12, 17):
+        raise WorkloadError(
+            "CPU2006 split must be 12 int / 17 fp, got %d/%d" % (int_count, fp_count)
+        )
+    return suite

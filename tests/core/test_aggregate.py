@@ -1,0 +1,87 @@
+"""Tests for Table-II aggregation."""
+
+import pytest
+
+from repro.core.aggregate import TABLE2_SUITES, summarize_by_suite_and_size
+from repro.errors import AnalysisError
+from repro.workloads.profile import InputSize, MiniSuite
+
+
+@pytest.fixture(scope="module")
+def summaries(all_metrics17):
+    return summarize_by_suite_and_size(all_metrics17)
+
+
+def cell(summaries, suite, size):
+    return next(
+        s for s in summaries if s.suite is suite and s.input_size is size
+    )
+
+
+class TestStructure:
+    def test_twelve_cells(self, summaries):
+        assert len(summaries) == 12
+
+    def test_suite_order_matches_table2(self, summaries):
+        suites = [s.suite for s in summaries[::3]]
+        assert tuple(suites) == TABLE2_SUITES
+
+    def test_application_counts(self, summaries):
+        for summary in summaries:
+            expected = 13 if summary.suite is MiniSuite.RATE_FP else 10
+            assert summary.n_applications == expected
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize_by_suite_and_size([])
+
+
+class TestPaperShape:
+    def test_instructions_grow_with_input_size(self, summaries):
+        for suite in TABLE2_SUITES:
+            test = cell(summaries, suite, InputSize.TEST)
+            train = cell(summaries, suite, InputSize.TRAIN)
+            ref = cell(summaries, suite, InputSize.REF)
+            assert test.instructions_e9 < train.instructions_e9 < ref.instructions_e9
+            assert test.time_seconds < train.time_seconds < ref.time_seconds
+
+    def test_speed_instruction_counts_exceed_rate(self, summaries):
+        rate_fp = cell(summaries, MiniSuite.RATE_FP, InputSize.REF)
+        speed_fp = cell(summaries, MiniSuite.SPEED_FP, InputSize.REF)
+        assert speed_fp.instructions_e9 > 3 * rate_fp.instructions_e9
+
+    def test_speed_fp_ipc_collapse(self, summaries):
+        """Paper: fp IPC drops 56.8-59.8% from rate to speed."""
+        for size in InputSize:
+            rate = cell(summaries, MiniSuite.RATE_FP, size)
+            speed = cell(summaries, MiniSuite.SPEED_FP, size)
+            drop = 1 - speed.ipc / rate.ipc
+            assert 0.45 < drop < 0.70
+
+    def test_int_ipc_stable_across_versions(self, summaries):
+        """Paper: int IPC matches within ~5% between rate and speed."""
+        for size in InputSize:
+            rate = cell(summaries, MiniSuite.RATE_INT, size)
+            speed = cell(summaries, MiniSuite.SPEED_INT, size)
+            assert abs(rate.ipc - speed.ipc) / rate.ipc < 0.08
+
+    @pytest.mark.parametrize("suite,paper_ipc", [
+        (MiniSuite.RATE_INT, 1.724),
+        (MiniSuite.RATE_FP, 1.635),
+        (MiniSuite.SPEED_INT, 1.635),
+        (MiniSuite.SPEED_FP, 0.706),
+    ])
+    def test_ref_ipc_near_paper(self, summaries, suite, paper_ipc):
+        assert cell(summaries, suite, InputSize.REF).ipc == pytest.approx(
+            paper_ipc, rel=0.06
+        )
+
+    @pytest.mark.parametrize("suite,paper_instr", [
+        (MiniSuite.RATE_INT, 1751.516),
+        (MiniSuite.RATE_FP, 2291.092),
+        (MiniSuite.SPEED_INT, 2265.182),
+    ])
+    def test_ref_instruction_counts_near_paper(self, summaries, suite, paper_instr):
+        assert cell(summaries, suite, InputSize.REF).instructions_e9 == (
+            pytest.approx(paper_instr, rel=0.03)
+        )

@@ -1,0 +1,102 @@
+"""Tests for the CPU17-vs-CPU06 comparison (Tables III-VII)."""
+
+import pytest
+
+from repro.core.compare import compare_suites
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def ipc(app_means17, app_means06):
+    return compare_suites(app_means17, app_means06, "ipc")
+
+
+class TestStructure:
+    def test_six_rows(self, ipc):
+        assert len(ipc.rows) == 6
+        labels = [row.label for row in ipc.rows]
+        assert labels == [
+            "CPU06 int", "CPU17 int", "CPU06 fp", "CPU17 fp",
+            "CPU06 all", "CPU17 all",
+        ]
+
+    def test_population_sizes(self, ipc):
+        assert ipc.row("CPU06 int").n == 12
+        assert ipc.row("CPU06 fp").n == 17
+        assert ipc.row("CPU17 int").n == 20
+        assert ipc.row("CPU17 fp").n == 23
+        assert ipc.row("CPU17 all").n == 43
+
+    def test_unknown_metric(self, app_means17, app_means06):
+        with pytest.raises(AnalysisError):
+            compare_suites(app_means17, app_means06, "power")
+
+    def test_unknown_row(self, ipc):
+        with pytest.raises(AnalysisError):
+            ipc.row("CPU95 all")
+
+    def test_delta_and_ratio(self, ipc):
+        assert ipc.delta("all") == pytest.approx(
+            ipc.row("CPU17 all").mean - ipc.row("CPU06 all").mean
+        )
+        assert ipc.ratio("all") == pytest.approx(
+            ipc.row("CPU17 all").mean / ipc.row("CPU06 all").mean
+        )
+
+
+class TestPaperShapes:
+    def test_cpu17_ipc_lower_overall(self, ipc):
+        """Paper: CPU17 IPC is 18.3% lower overall."""
+        assert ipc.delta("all") < 0
+        drop = 1 - ipc.ratio("all")
+        assert 0.10 < drop < 0.30
+
+    def test_fp_ipc_drop_dominates(self, ipc):
+        """Paper: fp drops 30.9%, int only 4.7%."""
+        fp_drop = 1 - ipc.ratio("fp")
+        int_drop = 1 - ipc.ratio("int")
+        assert fp_drop > int_drop
+
+    def test_footprint_explosion(self, app_means17, app_means06):
+        """Paper Table V: CPU17 RSS is ~5.3x CPU06, VSZ ~5.3x."""
+        rss = compare_suites(app_means17, app_means06, "rss_gib")
+        vsz = compare_suites(app_means17, app_means06, "vsz_gib")
+        assert 3.0 < rss.ratio("all") < 8.0
+        assert 3.0 < vsz.ratio("all") < 8.0
+
+    def test_int_branches_exceed_fp(self, app_means17, app_means06):
+        """Paper Table IV: int apps branch far more than fp in both suites."""
+        branches = compare_suites(app_means17, app_means06, "branch_pct")
+        for generation in ("CPU06", "CPU17"):
+            assert (
+                branches.row("%s int" % generation).mean
+                > branches.row("%s fp" % generation).mean + 4
+            )
+
+    def test_int_stores_exceed_fp(self, app_means17, app_means06):
+        stores = compare_suites(app_means17, app_means06, "store_pct")
+        for generation in ("CPU06", "CPU17"):
+            assert (
+                stores.row("%s int" % generation).mean
+                > stores.row("%s fp" % generation).mean
+            )
+
+    def test_mix_within_band_of_paper(self, app_means17, app_means06):
+        """Paper: CPU06/CPU17 mixes stay within ~2.5 points of each other."""
+        for metric in ("load_pct", "store_pct", "branch_pct"):
+            comparison = compare_suites(app_means17, app_means06, metric)
+            assert abs(comparison.delta("all")) < 4.0
+
+    def test_int_mispredicts_exceed_fp(self, app_means17, app_means06):
+        """Paper Table VII: int mispredict rates exceed fp in both suites."""
+        mispredicts = compare_suites(app_means17, app_means06, "mispredict_pct")
+        for generation in ("CPU06", "CPU17"):
+            assert (
+                mispredicts.row("%s int" % generation).mean
+                > mispredicts.row("%s fp" % generation).mean
+            )
+
+    def test_l2_miss_rates_decreased(self, app_means17, app_means06):
+        """Paper Table VI: CPU17 L2 miss rates drop vs CPU06."""
+        l2 = compare_suites(app_means17, app_means06, "l2_miss_pct")
+        assert l2.delta("all") < 0

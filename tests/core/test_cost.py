@@ -1,0 +1,73 @@
+"""Tests for the simulation-cost projection."""
+
+import pytest
+
+from repro.core.cost import project_costs
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def subsets(selector, suite17):
+    return [
+        selector.select(suite17, "rate"),
+        selector.select(suite17, "speed"),
+    ]
+
+
+class TestProjection:
+    def test_strategies_present(self, subsets):
+        projection = project_costs(subsets, phase_fraction=0.07)
+        strategies = [line.strategy for line in projection.lines]
+        assert strategies == [
+            "full suite", "suggested subset", "subset + simulation points",
+        ]
+
+    def test_costs_strictly_decreasing(self, subsets):
+        projection = project_costs(subsets, phase_fraction=0.07)
+        costs = [line.simulated_seconds for line in projection.lines]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_slowdown_applied(self, subsets):
+        projection = project_costs(subsets, slowdown=100.0)
+        full = projection.line("full suite")
+        assert full.simulated_seconds == pytest.approx(
+            full.native_seconds * 100.0
+        )
+
+    def test_speedup_matches_time_saving(self, subsets):
+        projection = project_costs(subsets)
+        native_ratio = (
+            sum(s.full_time_seconds for s in subsets)
+            / sum(s.subset_time_seconds for s in subsets)
+        )
+        assert projection.speedup("suggested subset") == pytest.approx(
+            native_ratio
+        )
+
+    def test_units(self, subsets):
+        projection = project_costs(subsets)
+        line = projection.line("full suite")
+        assert line.simulated_hours == pytest.approx(
+            line.simulated_seconds / 3600.0
+        )
+        assert line.simulated_days == pytest.approx(
+            line.simulated_hours / 24.0
+        )
+
+    def test_full_suite_simulation_takes_years(self, subsets):
+        """The paper's point made concrete: the full suite at gem5 speed
+        is utterly impractical."""
+        projection = project_costs(subsets)
+        assert projection.line("full suite").simulated_days > 1000
+
+    def test_validation(self, subsets):
+        with pytest.raises(AnalysisError):
+            project_costs([])
+        with pytest.raises(AnalysisError):
+            project_costs(subsets, slowdown=0)
+        with pytest.raises(AnalysisError):
+            project_costs(subsets, phase_fraction=0.0)
+        with pytest.raises(AnalysisError):
+            project_costs(subsets).line("mystery")
+        with pytest.raises(AnalysisError):
+            project_costs(subsets).speedup("full suite", baseline="mystery")

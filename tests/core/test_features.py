@@ -1,0 +1,67 @@
+"""Tests for the Table-VIII feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, feature_matrix, feature_vector
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def report(session, mcf_ref):
+    return session.run(mcf_ref)
+
+
+class TestFeatureNames:
+    def test_twenty_characteristics(self):
+        assert len(FEATURE_NAMES) == 20
+
+    def test_paper_counter_flags_present(self):
+        for flag in (
+            "inst_retired.any",
+            "mem_uops_retired.all_loads",
+            "br_inst_exec.all_conditional",
+            "br_inst_exec.all_indirect_near_return",
+        ):
+            assert flag in FEATURE_NAMES
+
+    def test_percent_features_present(self):
+        percent_features = [f for f in FEATURE_NAMES if f.endswith("(%)")]
+        assert len(percent_features) == 9
+
+    def test_footprints_last(self):
+        assert FEATURE_NAMES[-2:] == ("rss", "vsz")
+
+
+class TestFeatureVector:
+    def test_vector_length(self, report):
+        assert feature_vector(report).shape == (20,)
+
+    def test_values_match_report(self, report):
+        vector = feature_vector(report)
+        assert vector[0] == report.instructions
+        assert vector[3] == pytest.approx(report.load_pct)
+        assert vector[5] == pytest.approx(report.memory_pct)
+        assert vector[18] == report.rss_bytes
+        assert vector[19] == report.vsz_bytes
+
+    def test_finite(self, report):
+        assert np.isfinite(feature_vector(report)).all()
+
+
+class TestFeatureMatrix:
+    def test_matrix_shape_and_labels(self, characterizer, suite17):
+        from repro.workloads.profile import InputSize
+
+        reports = [
+            characterizer.report(p.profile)
+            for p in suite17.pairs(size=InputSize.REF)
+        ]
+        matrix, labels = feature_matrix(reports)
+        assert matrix.shape == (64, 20)
+        assert len(labels) == 64
+        assert labels[0].endswith("/ref")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            feature_matrix([])

@@ -1,0 +1,48 @@
+"""Tests for PairMetrics derivation."""
+
+import pytest
+
+from repro.core.metrics import PairMetrics
+from repro.workloads.profile import InputSize, MiniSuite
+
+
+@pytest.fixture(scope="module")
+def metrics(session, mcf_ref):
+    return PairMetrics.from_report(session.run(mcf_ref))
+
+
+class TestDerivation:
+    def test_identity_fields(self, metrics):
+        assert metrics.pair_name == "505.mcf_r/ref"
+        assert metrics.benchmark == "505.mcf_r"
+        assert metrics.suite is MiniSuite.RATE_INT
+        assert metrics.input_size is InputSize.REF
+        assert not metrics.collection_error
+
+    def test_units_are_paper_style(self, metrics):
+        # Percentages, not fractions.
+        assert 20 < metrics.load_pct < 30
+        assert 25 < metrics.branch_pct < 40
+        assert 50 < metrics.l2_miss_pct < 80
+        assert 4 < metrics.mispredict_pct < 7
+
+    def test_memory_pct(self, metrics):
+        assert metrics.memory_pct == pytest.approx(
+            metrics.load_pct + metrics.store_pct
+        )
+
+    def test_instructions_e9(self, metrics):
+        assert metrics.instructions_e9 == pytest.approx(
+            metrics.instructions / 1e9
+        )
+
+    def test_gib_conversions(self, metrics):
+        assert metrics.rss_gib == pytest.approx(metrics.rss_bytes / 2**30)
+        assert metrics.vsz_gib >= metrics.rss_gib
+
+    def test_branch_subtypes_sum_to_100(self, metrics):
+        assert sum(metrics.branch_subtype_pct) == pytest.approx(100.0)
+
+    def test_classification_flags(self, metrics):
+        assert metrics.is_integer
+        assert not metrics.is_speed

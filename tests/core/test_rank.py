@@ -1,0 +1,70 @@
+"""Tests for the design-ranking validation."""
+
+import pytest
+
+from repro.core.rank import DesignRanker, candidate_configs
+from repro.errors import AnalysisError
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def speed_setup(selector, suite17):
+    subset = selector.select(suite17, "speed")
+    profiles = [
+        suite17.find_pair(name).profile for name in subset.pair_names
+    ]
+    return subset, profiles
+
+
+class TestCandidateConfigs:
+    def test_six_distinct_designs(self):
+        configs = candidate_configs()
+        assert len(configs) == 6
+        assert "table-I" in configs
+
+    def test_designs_differ_structurally(self):
+        configs = candidate_configs()
+        base = configs["table-I"]
+        assert configs["wide-l2"].l2.associativity != base.l2.associativity
+        assert configs["bimodal-bp"].branch_predictor != base.branch_predictor
+        assert (configs["slow-dram"].pipeline.dram_latency
+                > base.pipeline.dram_latency)
+        assert configs["tiny-l3"].l3.size_bytes < base.l3.size_bytes
+
+
+class TestDesignRanker:
+    def test_ipc_matrix_shape(self, speed_setup):
+        _, profiles = speed_setup
+        ranker = DesignRanker(sample_ops=6_000)
+        configs = {k: v for k, v in list(candidate_configs().items())[:2]}
+        matrix = ranker.ipc_matrix(profiles[:4], configs)
+        assert matrix.shape == (4, 2)
+        assert (matrix > 0).all()
+
+    def test_validation_requires_matching_profiles(self, speed_setup):
+        subset, profiles = speed_setup
+        ranker = DesignRanker(sample_ops=6_000)
+        with pytest.raises(AnalysisError):
+            ranker.validate(subset, profiles[:3], candidate_configs())
+
+    def test_subset_ranks_designs_like_full_group(self, speed_setup):
+        """The headline claim: the subset's design ranking agrees with the
+        full group's (high rank correlation over the candidate space)."""
+        subset, profiles = speed_setup
+        ranker = DesignRanker(sample_ops=6_000)
+        report = ranker.validate(subset, profiles, candidate_configs())
+        assert report.spearman > 0.75
+        assert report.kendall > 0.5
+
+    def test_scores_have_real_spread(self, speed_setup):
+        subset, profiles = speed_setup
+        ranker = DesignRanker(sample_ops=6_000)
+        report = ranker.validate(subset, profiles, candidate_configs())
+        assert max(report.full_scores) > 1.05 * min(report.full_scores)
+
+    def test_ranker_validation(self):
+        with pytest.raises(AnalysisError):
+            DesignRanker(sample_ops=0)
+        ranker = DesignRanker(sample_ops=1_000)
+        with pytest.raises(AnalysisError):
+            ranker.ipc_matrix([], candidate_configs())

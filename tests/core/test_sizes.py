@@ -1,0 +1,41 @@
+"""Tests for the input-size representativeness analysis."""
+
+import pytest
+
+from repro.core.sizes import input_size_similarity, summarize_size_similarity
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def similarities(selector, suite17):
+    return input_size_similarity(selector, suite17)
+
+
+class TestSimilarity:
+    def test_one_entry_per_application(self, similarities):
+        assert len(similarities) == 43
+        assert len({s.benchmark for s in similarities}) == 43
+
+    def test_distances_finite_and_nonnegative(self, similarities):
+        for entry in similarities:
+            assert entry.test_distance >= 0
+            assert entry.train_distance >= 0
+
+    def test_train_usually_closer_than_test(self, similarities):
+        """Train inputs scale less aggressively than test inputs, so they
+        should usually sit closer to ref in characterization space."""
+        closer = sum(1 for s in similarities if s.train_is_closer)
+        assert closer > len(similarities) * 0.6
+
+    def test_summary_fields(self, similarities):
+        summary = summarize_size_similarity(similarities)
+        assert set(summary) == {
+            "mean_test_distance", "mean_train_distance",
+            "train_closer_fraction",
+        }
+        assert summary["mean_train_distance"] < summary["mean_test_distance"]
+        assert 0.0 <= summary["train_closer_fraction"] <= 1.0
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize_size_similarity([])

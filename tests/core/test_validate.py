@@ -1,0 +1,63 @@
+"""Tests for subset representativeness validation."""
+
+import pytest
+
+from repro.core.validate import DEFAULT_METRICS, validate_subset
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def rate_result(selector, suite17):
+    return selector.select(suite17, "rate")
+
+
+@pytest.fixture(scope="module")
+def rate_metrics(selector, suite17):
+    _, metrics = selector.group_scores(suite17, "rate")
+    return metrics
+
+
+class TestValidation:
+    def test_all_default_metrics_validated(self, rate_result, rate_metrics):
+        report = validate_subset(rate_result, rate_metrics)
+        assert {entry.metric for entry in report.results} == set(DEFAULT_METRICS)
+
+    def test_subset_is_representative(self, rate_result, rate_metrics):
+        """The paper's central claim: the weighted subset reproduces the
+        suite means.  IPC and the mix metrics must land within 25%."""
+        report = validate_subset(rate_result, rate_metrics)
+        for metric in ("ipc", "load_pct", "store_pct", "branch_pct"):
+            assert report.result(metric).relative_error < 0.25, metric
+
+    def test_mean_error_bounded(self, rate_result, rate_metrics):
+        report = validate_subset(rate_result, rate_metrics)
+        assert report.mean_relative_error < 0.35
+
+    def test_random_small_subset_is_worse(self, selector, suite17,
+                                          rate_result, rate_metrics):
+        """A 2-cluster subset (too coarse) must validate worse than the
+        chosen one — the methodology's cluster count matters."""
+        coarse = selector.select(suite17, "rate", n_clusters=2)
+        fine_report = validate_subset(rate_result, rate_metrics)
+        coarse_report = validate_subset(coarse, rate_metrics)
+        assert coarse_report.mean_relative_error > fine_report.mean_relative_error
+
+    def test_estimate_and_mean_fields(self, rate_result, rate_metrics):
+        report = validate_subset(rate_result, rate_metrics)
+        entry = report.result("ipc")
+        assert entry.full_mean > 0
+        assert entry.subset_estimate > 0
+        assert entry.relative_error >= 0
+
+    def test_unknown_metric_rejected(self, rate_result, rate_metrics):
+        with pytest.raises(AnalysisError):
+            validate_subset(rate_result, rate_metrics, ["power_watts"])
+
+    def test_missing_pairs_rejected(self, rate_result, rate_metrics):
+        with pytest.raises(AnalysisError):
+            validate_subset(rate_result, rate_metrics[:5])
+
+    def test_unvalidated_metric_lookup(self, rate_result, rate_metrics):
+        report = validate_subset(rate_result, rate_metrics, ["ipc"])
+        with pytest.raises(AnalysisError):
+            report.result("branch_pct")

@@ -1,0 +1,60 @@
+"""Tests for the counter registry."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.perf import counters as C
+from repro.perf.counters import ALL_COUNTERS, BRANCH_COUNTERS, CACHE_COUNTERS, describe
+
+
+class TestRegistry:
+    def test_paper_flags_present(self):
+        """Every counter flag the paper names must exist."""
+        for name in (
+            "inst_retired.any",
+            "cpu_clk_unhalted.ref_tsc",
+            "mem_uops_retired.all_loads",
+            "mem_uops_retired.all_stores",
+            "uops_retired.all",
+            "br_inst_exec.all_branches",
+            "br_inst_exec.all_conditional",
+            "br_inst_exec.all_direct_jmp",
+            "br_inst_exec.all_direct_near_call",
+            "br_inst_exec.all_indirect_jump_non_call_ret",
+            "br_inst_exec.all_indirect_near_return",
+            "br_misp_exec.all_branches",
+            "mem_load_uops_retired.l1_hit",
+            "mem_load_uops_retired.l1_miss",
+            "mem_load_uops_retired.l2_hit",
+            "mem_load_uops_retired.l2_miss",
+            "mem_load_uops_retired.l3_hit",
+            "mem_load_uops_retired.l3_miss",
+        ):
+            assert name in ALL_COUNTERS
+
+    def test_ps_pseudo_counters(self):
+        assert C.PS_RSS in ALL_COUNTERS
+        assert C.PS_VSZ in ALL_COUNTERS
+
+    def test_branch_counters_order(self):
+        assert BRANCH_COUNTERS[0] == C.BR_CONDITIONAL
+        assert BRANCH_COUNTERS[-1] == C.BR_INDIRECT_NEAR_RETURN
+        assert len(BRANCH_COUNTERS) == 5
+
+    def test_cache_counters_innermost_first(self):
+        assert CACHE_COUNTERS[0] == (C.L1_HIT, C.L1_MISS)
+        assert len(CACHE_COUNTERS) == 3
+
+    def test_describe(self):
+        counter = describe(C.INST_RETIRED)
+        assert counter.unit == "instructions"
+        assert counter.description
+
+    def test_describe_unknown(self):
+        with pytest.raises(CounterError):
+            describe("cycles.fake")
+
+    def test_every_counter_has_description(self):
+        for counter in ALL_COUNTERS.values():
+            assert counter.description
+            assert counter.unit

@@ -1,0 +1,80 @@
+"""Tests for CounterReport derived metrics."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.perf import counters as C
+from repro.perf.report import CounterReport
+
+
+@pytest.fixture(scope="module")
+def report(session, mcf_ref):
+    return session.run(mcf_ref)
+
+
+class TestMappingProtocol:
+    def test_len_and_iter(self, report):
+        assert len(report) == len(list(report))
+        assert C.INST_RETIRED in set(report)
+
+    def test_getitem(self, report, mcf_ref):
+        assert report[C.INST_RETIRED] == mcf_ref.instructions
+
+    def test_missing_counter_raises(self, report):
+        with pytest.raises(CounterError, match="not collected"):
+            report["cycles.fake"]  # noqa: B018
+
+    def test_rejects_unknown_counters_at_construction(self, mcf_ref):
+        with pytest.raises(CounterError):
+            CounterReport(mcf_ref, {"bogus.counter": 1.0})
+
+
+class TestDerivedMetrics:
+    def test_ipc_consistent_with_cycles(self, report):
+        assert report.ipc == pytest.approx(
+            report[C.INST_RETIRED] / report[C.REF_CYCLES]
+        )
+
+    def test_mix_percentages(self, report):
+        assert report.load_pct == pytest.approx(
+            100 * report[C.MEM_LOADS] / report[C.UOPS_RETIRED]
+        )
+        assert report.memory_pct == pytest.approx(
+            report.load_pct + report.store_pct
+        )
+
+    def test_branch_subtypes_sum_to_100(self, report):
+        assert sum(report.branch_subtype_pct()) == pytest.approx(100.0)
+
+    def test_cache_hit_miss_consistency(self, report):
+        loads = report[C.MEM_LOADS]
+        assert report[C.L1_HIT] + report[C.L1_MISS] == pytest.approx(loads)
+        assert report[C.L2_HIT] + report[C.L2_MISS] == pytest.approx(
+            report[C.L1_MISS]
+        )
+        assert report[C.L3_HIT] + report[C.L3_MISS] == pytest.approx(
+            report[C.L2_MISS]
+        )
+
+    def test_miss_rate_levels(self, report):
+        m1 = report.miss_rate(1)
+        assert 0 <= m1 <= 1
+        assert report.miss_rates == (
+            report.miss_rate(1), report.miss_rate(2), report.miss_rate(3)
+        )
+
+    def test_miss_rate_invalid_level(self, report):
+        with pytest.raises(CounterError):
+            report.miss_rate(4)
+
+    def test_mispredict_rate(self, report):
+        assert report.mispredict_rate == pytest.approx(
+            report[C.BR_MISP] / report[C.BR_ALL]
+        )
+
+    def test_footprints(self, report):
+        assert report.rss_bytes > 0
+        assert report.vsz_bytes >= report.rss_bytes
+
+    def test_wall_time_positive(self, report):
+        assert report.wall_time_seconds > 0

@@ -1,0 +1,103 @@
+"""Tests for phase detection and simulation-point estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.phases.detector import PhaseDetector, estimate_from_simulation_points
+from repro.phases.generator import PhasedTraceGenerator
+from repro.phases.workload import PhasedWorkload, Schedule, make_phases
+from repro.uarch.core import SimulatedCore
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def phased(config, suite17):
+    base = suite17.get("502.gcc_r").profile(InputSize.REF)
+    workload = PhasedWorkload(
+        "gcc-phased",
+        make_phases(base, ["compute", "memory", "branchy"]),
+        Schedule.round_robin(3, 6000, 24),
+    )
+    return PhasedTraceGenerator(config).generate(workload)
+
+
+@pytest.fixture(scope="module")
+def analysis(phased):
+    return PhaseDetector(interval_ops=2000).analyze(phased.trace)
+
+
+class TestDetection:
+    def test_detects_at_least_true_phase_count(self, analysis):
+        # BIC may refine the 3 true phases but must not merge them.
+        assert 3 <= analysis.n_phases <= 8
+
+    def test_label_purity_against_ground_truth(self, phased, analysis):
+        """Every detected cluster must map onto a single true phase."""
+        truth = phased.phase_of_op[analysis.starts + analysis.interval_ops // 2]
+        pure = 0
+        for cluster in range(analysis.n_phases):
+            members = truth[analysis.labels == cluster]
+            if members.size:
+                values, counts = np.unique(members, return_counts=True)
+                pure += counts.max()
+        assert pure / analysis.n_intervals > 0.95
+
+    def test_weights_sum_to_one(self, analysis):
+        assert sum(analysis.weights) == pytest.approx(1.0)
+        assert analysis.coverage() == pytest.approx(1.0)
+
+    def test_simulation_points_are_valid_intervals(self, analysis):
+        for point in analysis.simulation_points:
+            assert 0 <= point < analysis.n_intervals
+
+    def test_fixed_phase_count(self, phased):
+        analysis = PhaseDetector(interval_ops=2000, n_phases=3).analyze(
+            phased.trace
+        )
+        assert analysis.n_phases == 3
+
+    def test_detector_validation(self):
+        with pytest.raises(AnalysisError):
+            PhaseDetector(interval_ops=0)
+        with pytest.raises(AnalysisError):
+            PhaseDetector(n_phases=0)
+
+    def test_deterministic(self, phased):
+        a = PhaseDetector(interval_ops=2000, seed=3).analyze(phased.trace)
+        b = PhaseDetector(interval_ops=2000, seed=3).analyze(phased.trace)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.simulation_points == b.simulation_points
+
+
+class TestEstimation:
+    def test_estimate_tracks_full_simulation(self, config, phased, analysis):
+        core = SimulatedCore(config)
+        full = core.run(phased.trace)
+        estimate = estimate_from_simulation_points(
+            core, phased.trace, analysis
+        )
+        assert estimate["ipc"] == pytest.approx(full.ipc, rel=0.08)
+        for measured, reference in zip(
+            estimate["load_miss_rates"], full.load_miss_rates
+        ):
+            # L3 sees only a handful of events per 2000-op interval, so
+            # its band is the widest of the three.
+            assert measured == pytest.approx(reference, rel=0.20, abs=0.03)
+        assert estimate["mispredict_rate"] == pytest.approx(
+            full.mispredict_rate, rel=0.3, abs=0.01
+        )
+
+    def test_estimate_simulates_a_fraction(self, config, phased, analysis):
+        core = SimulatedCore(config)
+        estimate = estimate_from_simulation_points(core, phased.trace, analysis)
+        assert estimate["simulated_fraction"] < 0.25
+
+    def test_single_phase_trace_collapses_to_one_point(self, config, suite17):
+        from repro.workloads.generator import TraceGenerator
+
+        profile = suite17.get("508.namd_r").profile(InputSize.REF)
+        trace = TraceGenerator(config).generate(profile, n_ops=20_000)
+        analysis = PhaseDetector(interval_ops=2000, max_phases=6).analyze(trace)
+        # A phase-free workload should need very few simulation points.
+        assert analysis.n_phases <= 3

@@ -1,0 +1,75 @@
+"""Tests for phased trace generation and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.phases.generator import PhasedTraceGenerator, slice_trace
+from repro.phases.workload import PhasedWorkload, Schedule, make_phases
+from repro.workloads.generator import KIND_LOAD, KIND_STORE, TraceGenerator
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def workload(suite17):
+    base = suite17.get("502.gcc_r").profile(InputSize.REF)
+    return PhasedWorkload(
+        "gcc-phased",
+        make_phases(base, ["compute", "memory"]),
+        Schedule.round_robin(2, 3000, 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def phased(config, workload):
+    return PhasedTraceGenerator(config).generate(workload)
+
+
+class TestPhasedGeneration:
+    def test_total_length(self, phased):
+        assert phased.n_ops == 24_000
+        assert phased.phase_of_op.shape == (24_000,)
+
+    def test_labels_follow_schedule(self, phased, workload):
+        for op in (0, 2999, 3000, 5999, 6000):
+            assert phased.phase_of_op[op] == workload.phase_of_op(op)
+
+    def test_memory_phase_has_more_memory_ops(self, phased):
+        kind = phased.trace.kind
+        mem = (kind == KIND_LOAD) | (kind == KIND_STORE)
+        compute_mem = mem[phased.phase_of_op == 0].mean()
+        memory_mem = mem[phased.phase_of_op == 1].mean()
+        assert memory_mem > 1.5 * compute_mem
+
+    def test_deterministic(self, config, workload):
+        a = PhasedTraceGenerator(config).generate(workload)
+        b = PhasedTraceGenerator(config).generate(workload)
+        assert np.array_equal(a.trace.kind, b.trace.kind)
+        assert np.array_equal(a.trace.addr, b.trace.addr)
+
+    def test_revisited_phase_differs_in_detail(self, phased):
+        """The same phase re-entered later must not replay byte-identical
+        ops (each segment has its own seed)."""
+        first = phased.trace.kind[0:3000]
+        second = phased.trace.kind[6000:9000]
+        assert not np.array_equal(first, second)
+
+
+class TestSliceTrace:
+    def test_slice_arrays(self, config, suite17):
+        profile = suite17.get("505.mcf_r").profile(InputSize.REF)
+        trace = TraceGenerator(config).generate(profile, n_ops=10_000)
+        part = slice_trace(trace, 1000, 4000)
+        assert part.n_ops == 3000
+        assert np.array_equal(part.kind, trace.kind[1000:4000])
+        assert part.profile is trace.profile
+
+    def test_slice_validation(self, config, suite17):
+        profile = suite17.get("505.mcf_r").profile(InputSize.REF)
+        trace = TraceGenerator(config).generate(profile, n_ops=1000)
+        with pytest.raises(SimulationError):
+            slice_trace(trace, 500, 500)
+        with pytest.raises(SimulationError):
+            slice_trace(trace, -1, 10)
+        with pytest.raises(SimulationError):
+            slice_trace(trace, 0, 2000)

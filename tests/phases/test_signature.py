@@ -1,0 +1,54 @@
+"""Tests for interval signatures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.phases.signature import SIGNATURE_NAMES, interval_signatures
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def trace(config, suite17):
+    profile = suite17.get("505.mcf_r").profile(InputSize.REF)
+    return TraceGenerator(config).generate(profile, n_ops=20_000)
+
+
+class TestSignatures:
+    def test_shape(self, trace):
+        signatures, starts = interval_signatures(trace, 2000)
+        assert signatures.shape == (10, len(SIGNATURE_NAMES))
+        assert list(starts) == [i * 2000 for i in range(10)]
+
+    def test_partial_tail_dropped(self, trace):
+        signatures, _ = interval_signatures(trace, 3000)
+        assert signatures.shape[0] == 6  # 20000 // 3000
+
+    def test_fractions_bounded(self, trace):
+        signatures, _ = interval_signatures(trace, 2000)
+        assert (signatures >= 0).all()
+        assert (signatures <= 1.0 + 1e-9).all()
+
+    def test_mix_matches_profile(self, trace):
+        signatures, _ = interval_signatures(trace, 2000)
+        mix = trace.profile.mix
+        assert signatures[:, 0].mean() == pytest.approx(
+            mix.load_fraction, abs=0.01)
+        assert signatures[:, 2].mean() == pytest.approx(
+            mix.branch_fraction, abs=0.01)
+
+    def test_region_fractions_sum_to_one(self, trace):
+        signatures, _ = interval_signatures(trace, 2000)
+        totals = signatures[:, 3:7].sum(axis=1)
+        assert np.allclose(totals, 1.0, atol=1e-9)
+
+    def test_validation(self, trace):
+        with pytest.raises(AnalysisError):
+            interval_signatures(trace, 0)
+        with pytest.raises(AnalysisError):
+            interval_signatures(trace, 100_000)
+
+    def test_signature_names_stable(self):
+        assert len(SIGNATURE_NAMES) == 9
+        assert SIGNATURE_NAMES[0] == "load_fraction"

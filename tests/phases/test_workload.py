@@ -1,0 +1,96 @@
+"""Tests for phased workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.phases.workload import PhasedWorkload, Schedule, make_phases
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def base(suite17):
+    return suite17.get("502.gcc_r").profile(InputSize.REF)
+
+
+class TestSchedule:
+    def test_round_robin(self):
+        schedule = Schedule.round_robin(3, 100, 7)
+        assert schedule.total_ops == 700
+        assert [p for p, _ in schedule.segments] == [0, 1, 2, 0, 1, 2, 0]
+        assert schedule.n_phases == 3
+
+    def test_weighted_respects_proportions(self):
+        schedule = Schedule.weighted([3, 1], 10, 40)
+        counts = [0, 0]
+        for phase, _ in schedule.segments:
+            counts[phase] += 1
+        assert counts[0] == 30
+        assert counts[1] == 10
+
+    def test_weighted_interleaves(self):
+        schedule = Schedule.weighted([1, 1], 10, 10)
+        phases = [p for p, _ in schedule.segments]
+        # Not all of one phase first.
+        assert phases[:5] != [0] * 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Schedule(())
+        with pytest.raises(WorkloadError):
+            Schedule(((0, 0),))
+        with pytest.raises(WorkloadError):
+            Schedule(((-1, 10),))
+        with pytest.raises(WorkloadError):
+            Schedule.round_robin(0, 10, 5)
+        with pytest.raises(WorkloadError):
+            Schedule.weighted([0, 0], 10, 5)
+
+
+class TestPhasedWorkload:
+    def test_phase_of_op(self, base):
+        workload = PhasedWorkload(
+            "w", make_phases(base, ["base", "memory"]),
+            Schedule(((0, 100), (1, 50), (0, 25))),
+        )
+        assert workload.phase_of_op(0) == 0
+        assert workload.phase_of_op(99) == 0
+        assert workload.phase_of_op(100) == 1
+        assert workload.phase_of_op(149) == 1
+        assert workload.phase_of_op(150) == 0
+        with pytest.raises(WorkloadError):
+            workload.phase_of_op(175)
+
+    def test_schedule_must_reference_existing_phases(self, base):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(
+                "w", make_phases(base, ["base"]), Schedule(((1, 10),))
+            )
+
+    def test_needs_phases(self, base):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload("w", (), Schedule(((0, 10),)))
+
+
+class TestMakePhases:
+    def test_kinds_are_distinct(self, base):
+        compute, memory, branchy = make_phases(
+            base, ["compute", "memory", "branchy"]
+        )
+        assert compute.target_ipc > base.target_ipc
+        assert memory.target_ipc < base.target_ipc
+        assert memory.mix.load_fraction > base.mix.load_fraction
+        assert branchy.mix.branch_fraction > base.mix.branch_fraction
+        assert (branchy.branches.target_mispredict_rate
+                > base.branches.target_mispredict_rate)
+
+    def test_base_passthrough(self, base):
+        (phase,) = make_phases(base, ["base"])
+        assert phase == base
+
+    def test_phases_remain_valid_profiles(self, base):
+        for phase in make_phases(base, ["compute", "memory", "branchy"]):
+            assert phase.mix.memory_fraction + phase.mix.branch_fraction < 1
+
+    def test_unknown_kind(self, base):
+        with pytest.raises(WorkloadError):
+            make_phases(base, ["io"])

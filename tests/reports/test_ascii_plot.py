@@ -1,0 +1,84 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reports.ascii_plot import (
+    bar_chart,
+    grouped_bar_chart,
+    line_plot,
+    scatter_plot,
+)
+
+
+class TestBarChart:
+    def test_labels_and_values_shown(self):
+        text = bar_chart(["mcf", "x264"], [0.886, 3.024])
+        assert "mcf" in text
+        assert "3.024" in text
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart(["small", "large"], [1.0, 2.0], width=20)
+        small_line, large_line = text.splitlines()
+        assert large_line.count("#") == 2 * small_line.count("#")
+
+    def test_title_and_unit(self):
+        text = bar_chart(["a"], [1.0], title="IPC", unit="%")
+        assert text.splitlines()[0] == "IPC"
+        assert "1.000%" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+
+
+class TestGroupedBarChart:
+    def test_every_series_rendered(self):
+        text = grouped_bar_chart(
+            ["app"], [[1.0], [2.0]], ["loads", "stores"]
+        )
+        assert "loads" in text
+        assert "stores" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart(["a"], [[1.0]], ["x", "y"])
+        with pytest.raises(ReproError):
+            grouped_bar_chart(["a", "b"], [[1.0]], ["x"])
+
+
+class TestScatterPlot:
+    def test_grid_dimensions(self):
+        text = scatter_plot([0, 1], [0, 1], width=30, height=10)
+        lines = text.splitlines()
+        # Border rows + grid rows.
+        assert len(lines) == 12
+        assert all(len(line) >= 32 for line in lines[1:-1])
+
+    def test_ranges_annotated(self):
+        text = scatter_plot([0, 2], [1, 5])
+        assert "x: [0, 2]" in text
+        assert "y: [1, 5]" in text
+
+    def test_markers(self):
+        text = scatter_plot([0, 1], [0, 1], markers=["A", "B"])
+        assert "A" in text
+        assert "B" in text
+
+    def test_marker_count_validation(self):
+        with pytest.raises(ReproError):
+            scatter_plot([0, 1], [0, 1], markers=["A"])
+
+    def test_single_point(self):
+        text = scatter_plot([1.0], [1.0])
+        assert "*" in text
+
+
+class TestLinePlot:
+    def test_uses_o_markers(self):
+        text = line_plot([0, 1, 2], [5, 3, 1])
+        assert "o" in text

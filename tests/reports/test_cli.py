@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.reports.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table10" in out
+        assert "fig7" in out
+
+
+class TestPair:
+    def test_characterizes_pair(self, capsys):
+        assert main(["--sample-ops", "5000", "pair", "505.mcf_r"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r/ref" in out
+        assert "IPC" in out
+
+    def test_size_and_input_flags(self, capsys):
+        code = main([
+            "--sample-ops", "5000", "pair", "502.gcc_r",
+            "--size", "test", "--input", "2",
+        ])
+        assert code == 0
+        assert "502.gcc_r-in3/test" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_friendly(self, capsys):
+        assert main(["pair", "505.mcfff"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["--sample-ops", "5000", "run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Haswell" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["--sample-ops", "5000", "run", "table42"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestPhases:
+    def test_phase_detection_subcommand(self, capsys):
+        code = main([
+            "phases", "502.gcc_r", "--kinds", "compute,memory",
+            "--segments", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detected phases" in out
+        assert "simulation-point estimate" in out
+
+    def test_phases_unknown_kind(self, capsys):
+        assert main(["phases", "502.gcc_r", "--kinds", "io"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

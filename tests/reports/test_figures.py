@@ -1,0 +1,106 @@
+"""Tests for the figure builders."""
+
+import pytest
+
+from repro.core.subset import SubsetSelector
+from repro.reports import figures
+from repro.workloads.profile import InputSize, MiniSuite
+
+
+@pytest.fixture(scope="module")
+def groups(characterizer, suite17):
+    def group(minis):
+        metrics = []
+        for mini in minis:
+            metrics.extend(
+                characterizer.characterize(
+                    suite17, size=InputSize.REF, mini_suite=mini
+                )
+            )
+        return metrics
+
+    rate = group((MiniSuite.RATE_INT, MiniSuite.RATE_FP))
+    speed = group((MiniSuite.SPEED_INT, MiniSuite.SPEED_FP))
+    return rate, speed
+
+
+@pytest.fixture(scope="module")
+def subsets(selector, suite17):
+    return (
+        selector.select(suite17, "rate"),
+        selector.select(suite17, "speed"),
+    )
+
+
+class TestPerAppFigures:
+    @pytest.mark.parametrize("builder,figure_id", [
+        (figures.figure_ipc, "fig1"),
+        (figures.figure_memory_ops, "fig2"),
+        (figures.figure_branches, "fig3"),
+        (figures.figure_footprint, "fig4"),
+        (figures.figure_cache, "fig5"),
+        (figures.figure_mispredicts, "fig6"),
+    ])
+    def test_two_panels_with_all_pairs(self, groups, builder, figure_id):
+        rate, speed = groups
+        figure = builder(rate, speed)
+        assert figure.figure_id == figure_id
+        assert [p.name for p in figure.panels] == ["rate", "speed"]
+        assert len(figure.panel("rate").labels) == len(rate)
+        assert len(figure.panel("speed").labels) == len(speed)
+        assert figure.text
+
+    def test_fig5_has_three_series(self, groups):
+        rate, speed = groups
+        figure = figures.figure_cache(rate, speed)
+        assert set(figure.panel("rate").series) == {"l1", "l2", "l3"}
+
+    def test_fig1_x264_highest_rate_int_bar(self, groups):
+        rate, _ = groups
+        figure = figures.figure_ipc(rate, rate)
+        panel = figure.panel("rate")
+        by_label = dict(zip(panel.labels, panel.series["ipc"]))
+        int_values = {
+            label: value for label, value in by_label.items()
+            if not label.split("-")[0][-2:] == "_s"
+        }
+        top = max(int_values, key=int_values.get)
+        assert top.startswith("x264_r")
+
+    def test_unknown_panel_raises(self, groups):
+        rate, speed = groups
+        figure = figures.figure_ipc(rate, speed)
+        with pytest.raises(KeyError):
+            figure.panel("mystery")
+
+
+class TestAnalysisFigures:
+    def test_fig7_panels(self, selector, suite17):
+        result, labels = selector.pca(suite17)
+        ref_rows = [i for i, l in enumerate(labels) if l.endswith("/ref")]
+        figure = figures.figure_pc_scatter(result, labels, ref_rows)
+        assert [p.name for p in figure.panels] == ["PC1 vs PC2", "PC3 vs PC4"]
+        assert len(figure.panel("PC1 vs PC2").series["x"]) == 64
+
+    def test_fig8_four_components(self, selector, suite17):
+        from repro.core.features import FEATURE_NAMES
+        from repro.stats.factor import factor_loadings
+
+        result, _ = selector.pca(suite17)
+        loadings = factor_loadings(result, FEATURE_NAMES)
+        figure = figures.figure_factor_loadings(loadings)
+        assert len(figure.panels) == 4
+        assert len(figure.panel("PC1").series["loading"]) == 20
+
+    def test_fig9_dendrograms(self, subsets):
+        rate, speed = subsets
+        figure = figures.figure_dendrograms(rate, speed)
+        assert "bwaves_s-in1" in "\n".join(figure.panel("speed").labels)
+        assert "d=" in figure.panel("rate").text
+
+    def test_fig10_sweep_series(self, subsets):
+        rate, speed = subsets
+        figure = figures.figure_pareto(rate, speed)
+        panel = figure.panel("rate")
+        assert len(panel.series["sse"]) == 34
+        assert panel.series["chosen"] == [float(rate.n_clusters)]

@@ -1,0 +1,50 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reports.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["Name", "Value"], [("alpha", 1.5), ("b", 2)])
+        lines = text.splitlines()
+        assert "Name" in lines[0]
+        assert "alpha" in text
+        assert "1.500" in text
+
+    def test_title(self):
+        text = format_table(["A"], [("x",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_alignment_default(self):
+        text = format_table(["Name", "N"], [("a", 1), ("bbbb", 22)])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a")
+        assert rows[0].rstrip().endswith("1")
+
+    def test_explicit_alignment(self):
+        text = format_table(["A", "B"], [("x", "y")], align="ll")
+        assert "x" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["A", "B"], [("only-one",)])
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ReproError):
+            format_table(["A"], [("x",)], align="c")
+
+    def test_handles_no_rows(self):
+        text = format_table(["A", "B"], [])
+        assert "A" in text
+
+    def test_floats_formatted(self):
+        text = format_table(["V"], [(3.14159,)])
+        assert "3.142" in text

@@ -1,0 +1,121 @@
+"""Tests for agglomerative hierarchical clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ClusteringError
+from repro.stats.cluster import AgglomerativeClustering, sse
+from repro.stats.linkage import LINKAGES, pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(11)
+    blobs = [
+        rng.normal(loc=(0, 0), scale=0.05, size=(10, 2)),
+        rng.normal(loc=(5, 5), scale=0.05, size=(10, 2)),
+        rng.normal(loc=(10, 0), scale=0.05, size=(10, 2)),
+    ]
+    return np.vstack(blobs)
+
+
+class TestDistances:
+    def test_pairwise_matches_manual(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[0, 0] == pytest.approx(0.0)
+
+    def test_symmetry(self, three_blobs):
+        distances = pairwise_distances(three_blobs)
+        assert np.allclose(distances, distances.T)
+
+
+class TestClustering:
+    @pytest.mark.parametrize("linkage", sorted(LINKAGES))
+    def test_recovers_three_blobs(self, three_blobs, linkage):
+        result = AgglomerativeClustering(linkage=linkage).fit(three_blobs)
+        labels = result.labels(3)
+        # Each blob is one cluster.
+        for start in (0, 10, 20):
+            assert len(set(labels[start:start + 10])) == 1
+        assert len(set(labels)) == 3
+
+    def test_merge_count(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        assert len(result.merges) == len(three_blobs) - 1
+
+    def test_merge_sizes_accumulate(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        assert result.merges[-1].size == len(three_blobs)
+
+    def test_labels_bounds(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        with pytest.raises(ClusteringError):
+            result.labels(0)
+        with pytest.raises(ClusteringError):
+            result.labels(31)
+
+    def test_labels_n_equals_points(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        labels = result.labels(len(three_blobs))
+        assert len(set(labels)) == len(three_blobs)
+
+    def test_labels_single_cluster(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        assert set(result.labels(1)) == {0}
+
+    def test_members_partition(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        members = result.members(4)
+        flat = sorted(i for cluster in members for i in cluster)
+        assert flat == list(range(len(three_blobs)))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(np.ones((1, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering().fit(np.arange(5.0))
+
+    def test_closest_pair_merges_first(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        result = AgglomerativeClustering().fit(points)
+        first = result.merges[0]
+        assert {first.left, first.right} == {0, 1}
+
+    @given(arrays(np.float64, (12, 3),
+                  elements={"min_value": -100, "max_value": 100}))
+    @settings(max_examples=30, deadline=None)
+    def test_labels_always_partition(self, points):
+        result = AgglomerativeClustering().fit(points)
+        for k in (1, 3, 6, 12):
+            labels = result.labels(k)
+            assert labels.shape == (12,)
+            assert set(labels) == set(range(len(set(labels))))
+            assert len(set(labels)) <= k
+
+
+class TestSSE:
+    def test_zero_for_singletons(self, three_blobs):
+        labels = np.arange(len(three_blobs))
+        assert sse(three_blobs, labels) == pytest.approx(0.0)
+
+    def test_monotone_nonincreasing_in_k(self, three_blobs):
+        result = AgglomerativeClustering().fit(three_blobs)
+        values = [
+            sse(three_blobs, result.labels(k))
+            for k in range(1, len(three_blobs) + 1)
+        ]
+        # SSE shrinks (weakly) as clusters are split.
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9
+
+    def test_manual_example(self):
+        points = np.array([[0.0], [2.0]])
+        labels = np.array([0, 0])
+        # Centroid 1.0, squared distances 1 + 1.
+        assert sse(points, labels) == pytest.approx(2.0)

@@ -1,0 +1,59 @@
+"""Tests for Pearson correlation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.correlation import correlation_matrix, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.normal(size=5000), rng.normal(size=5000))) < 0.05
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 2, 3], [1, 2])
+
+    def test_rejects_constant(self):
+        with pytest.raises(AnalysisError):
+            pearson([1.0, 1.0, 1.0], [1, 2, 3])
+
+    def test_rejects_too_short(self):
+        with pytest.raises(AnalysisError):
+            pearson([1.0], [2.0])
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(2)
+        matrix = correlation_matrix(rng.normal(size=(50, 4)))
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(3)
+        matrix = correlation_matrix(rng.normal(size=(50, 4)))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(4)
+        matrix = correlation_matrix(rng.normal(size=(50, 5)))
+        assert np.all(np.abs(matrix) <= 1.0 + 1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(AnalysisError):
+            correlation_matrix(np.arange(10.0))

@@ -1,0 +1,69 @@
+"""Tests for dendrogram construction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.stats.cluster import AgglomerativeClustering
+from repro.stats.dendrogram import Dendrogram
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    points = np.array([
+        [0.0, 0.0], [0.1, 0.0],      # tight pair
+        [5.0, 5.0], [5.2, 5.0],      # second pair
+        [20.0, 0.0],                  # loner
+    ])
+    labels = ["a1", "a2", "b1", "b2", "loner"]
+    result = AgglomerativeClustering().fit(points)
+    return result, labels
+
+
+class TestConstruction:
+    def test_root_covers_all_leaves(self, clustered):
+        result, labels = clustered
+        dendrogram = Dendrogram.from_result(result, labels)
+        assert sorted(dendrogram.leaf_order()) == sorted(labels)
+        assert dendrogram.root.size == 5
+
+    def test_default_labels(self, clustered):
+        result, _ = clustered
+        dendrogram = Dendrogram.from_result(result)
+        assert sorted(dendrogram.leaf_order()) == ["0", "1", "2", "3", "4"]
+
+    def test_label_count_mismatch(self, clustered):
+        result, _ = clustered
+        with pytest.raises(ClusteringError):
+            Dendrogram.from_result(result, ["just-one"])
+
+    def test_first_merge_is_tightest_pair(self, clustered):
+        result, labels = clustered
+        dendrogram = Dendrogram.from_result(result, labels)
+        assert set(dendrogram.first_merge()) == {"a1", "a2"}
+
+    def test_leaf_order_groups_pairs(self, clustered):
+        result, labels = clustered
+        order = Dendrogram.from_result(result, labels).leaf_order()
+        # Pairs stay adjacent in dendrogram order.
+        assert abs(order.index("a1") - order.index("a2")) == 1
+        assert abs(order.index("b1") - order.index("b2")) == 1
+
+
+class TestRendering:
+    def test_render_mentions_every_label(self, clustered):
+        result, labels = clustered
+        text = Dendrogram.from_result(result, labels).render()
+        for label in labels:
+            assert label in text
+
+    def test_render_shows_distances(self, clustered):
+        result, labels = clustered
+        text = Dendrogram.from_result(result, labels).render()
+        assert "d=" in text
+
+    def test_render_truncates_labels(self, clustered):
+        result, _ = clustered
+        labels = ["x" * 100] + ["b", "c", "d", "e"]
+        text = Dendrogram.from_result(result, labels).render(max_label=10)
+        assert "x" * 11 not in text

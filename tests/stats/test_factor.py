@@ -1,0 +1,69 @@
+"""Tests for factor loadings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.factor import factor_loadings
+from repro.stats.pca import PCA
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(7)
+    size_factor = rng.normal(size=(200, 1))
+    data = np.hstack([
+        size_factor * 3 + 0.1 * rng.normal(size=(200, 1)),   # tracks factor
+        size_factor * 2 + 0.1 * rng.normal(size=(200, 1)),   # tracks factor
+        rng.normal(size=(200, 1)),                            # independent
+    ])
+    result = PCA().fit_transform(data)
+    return data, result
+
+
+class TestLoadings:
+    def test_loading_is_variable_component_correlation(self, fitted):
+        data, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        z = (data - data.mean(0)) / data.std(0, ddof=1)
+        for j in range(3):
+            measured = np.corrcoef(z[:, j], result.scores[:, 0])[0, 1]
+            assert loadings.loadings[0, j] == pytest.approx(measured, abs=0.02)
+
+    def test_correlated_variables_dominate_pc1(self, fitted):
+        _, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        top = loadings.dominant(1, k=2, sign="absolute")
+        assert {name for name, _ in top} == {"a", "b"}
+
+    def test_dominant_positive_and_negative(self, fitted):
+        _, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        positive = loadings.dominant(1, sign="positive")
+        negative = loadings.dominant(1, sign="negative")
+        assert all(value > 0 for _, value in positive)
+        assert all(value < 0 for _, value in negative)
+
+    def test_dominant_rejects_bad_sign(self, fitted):
+        _, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        with pytest.raises(AnalysisError):
+            loadings.dominant(1, sign="sideways")
+
+    def test_component_out_of_range(self, fitted):
+        _, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        with pytest.raises(AnalysisError):
+            loadings.for_component(0)
+        with pytest.raises(AnalysisError):
+            loadings.for_component(99)
+
+    def test_name_count_must_match(self, fitted):
+        _, result = fitted
+        with pytest.raises(AnalysisError):
+            factor_loadings(result, ["only", "two"])
+
+    def test_loadings_bounded_by_one(self, fitted):
+        _, result = fitted
+        loadings = factor_loadings(result, ["a", "b", "c"])
+        assert np.all(np.abs(loadings.loadings) <= 1.0 + 1e-9)

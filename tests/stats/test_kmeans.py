@@ -1,0 +1,91 @@
+"""Tests for k-means, BIC model selection, and silhouette."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.stats.kmeans import KMeans, bic_score, choose_k, silhouette_score
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(5)
+    return np.vstack([
+        rng.normal((0, 0), 0.1, (30, 2)),
+        rng.normal((6, 6), 0.1, (30, 2)),
+        rng.normal((0, 6), 0.1, (30, 2)),
+    ])
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        result = KMeans(3, seed=1).fit(blobs)
+        for start in (0, 30, 60):
+            assert len(set(result.labels[start:start + 30])) == 1
+        assert len(set(result.labels)) == 3
+
+    def test_inertia_decreases_with_k(self, blobs):
+        inertias = [KMeans(k, seed=1).fit(blobs).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic(self, blobs):
+        a = KMeans(3, seed=2).fit(blobs)
+        b = KMeans(3, seed=2).fit(blobs)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_cluster_sizes_sum(self, blobs):
+        result = KMeans(4, seed=1).fit(blobs)
+        assert result.cluster_sizes().sum() == len(blobs)
+
+    def test_validation(self, blobs):
+        with pytest.raises(ClusteringError):
+            KMeans(0)
+        with pytest.raises(ClusteringError):
+            KMeans(5, max_iterations=0)
+        with pytest.raises(ClusteringError):
+            KMeans(100).fit(blobs[:5])
+        with pytest.raises(ClusteringError):
+            KMeans(2).fit(np.arange(10.0))
+
+    def test_identical_points_tolerated(self):
+        points = np.ones((10, 2))
+        result = KMeans(2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestBIC:
+    def test_prefers_true_k(self, blobs):
+        scores = {
+            k: bic_score(blobs, KMeans(k, seed=1).fit(blobs))
+            for k in (1, 2, 3, 5, 8)
+        }
+        assert max(scores, key=scores.get) == 3
+
+    def test_choose_k_finds_three(self, blobs):
+        assert choose_k(blobs, max_k=8, seed=1).k == 3
+
+    def test_choose_k_validation(self, blobs):
+        with pytest.raises(ClusteringError):
+            choose_k(blobs, max_k=2, min_k=5)
+
+    def test_bic_needs_more_points_than_clusters(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        result = KMeans(4, seed=0).fit(points)
+        with pytest.raises(ClusteringError):
+            bic_score(points, result)
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self, blobs):
+        labels = KMeans(3, seed=1).fit(blobs).labels
+        assert silhouette_score(blobs, labels) > 0.8
+
+    def test_bad_partition_scores_lower(self, blobs):
+        good = KMeans(3, seed=1).fit(blobs).labels
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 3, len(blobs))
+        assert silhouette_score(blobs, good) > silhouette_score(blobs, bad)
+
+    def test_needs_two_clusters(self, blobs):
+        with pytest.raises(ClusteringError):
+            silhouette_score(blobs, np.zeros(len(blobs), dtype=int))

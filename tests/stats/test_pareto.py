@@ -1,0 +1,67 @@
+"""Tests for Pareto-front and knee selection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.pareto import ParetoPoint, knee_point, pareto_front
+
+
+def points_from(tuples):
+    return [ParetoPoint(key=i, x=x, y=y) for i, (x, y) in enumerate(tuples)]
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        front = pareto_front(points_from([(1, 1), (2, 2)]))
+        assert [(p.x, p.y) for p in front] == [(1, 1)]
+
+    def test_trade_off_points_kept(self):
+        front = pareto_front(points_from([(1, 3), (2, 2), (3, 1)]))
+        assert len(front) == 3
+
+    def test_front_sorted_by_x(self):
+        front = pareto_front(points_from([(3, 1), (1, 3), (2, 2)]))
+        assert [p.x for p in front] == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            pareto_front([])
+
+    def test_duplicates_survive(self):
+        front = pareto_front(points_from([(1, 1), (1, 1)]))
+        assert len(front) == 2
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100)), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_front_members_are_nondominated(self, tuples):
+        all_points = points_from(tuples)
+        front = pareto_front(all_points)
+        assert front
+        for member in front:
+            dominated = any(
+                other.x <= member.x and other.y <= member.y
+                and (other.x < member.x or other.y < member.y)
+                for other in all_points
+            )
+            assert not dominated
+
+
+class TestKnee:
+    def test_picks_balanced_corner(self):
+        # A classic L-shaped front: the corner is the knee.
+        tuples = [(0, 10), (1, 1), (10, 0)]
+        knee = knee_point(points_from(tuples))
+        assert (knee.x, knee.y) == (1, 1)
+
+    def test_single_point(self):
+        knee = knee_point(points_from([(5, 5)]))
+        assert knee.x == 5
+
+    def test_knee_is_on_front(self):
+        tuples = [(0, 10), (2, 6), (4, 4), (9, 1), (10, 10)]
+        all_points = points_from(tuples)
+        knee = knee_point(all_points)
+        assert knee in pareto_front(all_points)

@@ -1,0 +1,94 @@
+"""Tests for PCA: the paper's three stated properties plus API behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import AnalysisError
+from repro.stats.pca import PCA
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    latent = rng.normal(size=(300, 3))
+    mixing = rng.normal(size=(3, 8))
+    return latent @ mixing + 0.05 * rng.normal(size=(300, 8))
+
+
+class TestPaperProperties:
+    """Section V-A lists three properties of the transformation; all three
+    must hold for our implementation."""
+
+    def test_variance_is_preserved(self, data):
+        result = PCA().fit_transform(data)
+        z_var = np.var(
+            (data - data.mean(0)) / data.std(0, ddof=1), axis=0, ddof=1
+        ).sum()
+        assert result.explained_variance.sum() == pytest.approx(z_var, rel=1e-9)
+
+    def test_components_are_uncorrelated(self, data):
+        result = PCA().fit_transform(data)
+        scores = result.scores
+        covariance = np.cov(scores, rowvar=False)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.allclose(off_diagonal, 0.0, atol=1e-9)
+
+    def test_variances_descend(self, data):
+        result = PCA().fit_transform(data)
+        variances = result.explained_variance
+        assert all(variances[i] >= variances[i + 1] - 1e-12
+                   for i in range(len(variances) - 1))
+
+
+class TestAPI:
+    def test_n_components_truncates(self, data):
+        result = PCA(n_components=4).fit_transform(data)
+        assert result.scores.shape == (300, 4)
+        assert result.components.shape == (4, 8)
+
+    def test_ratio_sums_to_one_when_full(self, data):
+        result = PCA().fit_transform(data)
+        assert result.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_three_latent_factors_dominate(self, data):
+        pca = PCA()
+        pca.fit(data)
+        assert pca.n_components_for_variance(0.95) <= 3
+
+    def test_cumulative_variance_monotone(self, data):
+        result = PCA().fit_transform(data)
+        cumulative = result.cumulative_variance_ratio()
+        assert np.all(np.diff(cumulative) >= -1e-12)
+
+    def test_transform_before_fit(self, data):
+        with pytest.raises(AnalysisError):
+            PCA().transform(data)
+
+    def test_rejects_nonpositive_components(self):
+        with pytest.raises(AnalysisError):
+            PCA(n_components=0)
+
+    def test_threshold_validation(self, data):
+        pca = PCA().fit(data)
+        with pytest.raises(AnalysisError):
+            pca.n_components_for_variance(0.0)
+
+    def test_deterministic_sign_convention(self, data):
+        a = PCA().fit_transform(data)
+        b = PCA().fit_transform(data)
+        assert np.allclose(a.components, b.components)
+        for row in a.components:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    @given(arrays(np.float64, (30, 4),
+                  elements={"min_value": -1e3, "max_value": 1e3}))
+    @settings(max_examples=30)
+    def test_projection_shape_and_finiteness(self, x):
+        # Skip degenerate all-equal matrices (zero total variance).
+        if np.allclose(x.std(axis=0), 0):
+            return
+        result = PCA().fit_transform(x)
+        assert result.scores.shape[0] == 30
+        assert np.isfinite(result.scores).all()

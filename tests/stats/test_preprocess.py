@@ -1,0 +1,55 @@
+"""Tests for standardization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import AnalysisError
+from repro.stats.preprocess import Standardizer, standardize
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z, _, _ = standardize(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0, ddof=1), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+        z, _, _ = standardize(x)
+        assert np.allclose(z[:, 1], 0.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(AnalysisError):
+            Standardizer().transform(np.ones((3, 2)))
+
+    def test_feature_mismatch(self):
+        scaler = Standardizer().fit(np.random.default_rng(1).normal(size=(5, 3)))
+        with pytest.raises(AnalysisError):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(AnalysisError):
+            standardize(np.arange(5.0))
+
+    def test_rejects_single_row(self):
+        with pytest.raises(AnalysisError):
+            standardize(np.ones((1, 3)))
+
+    def test_rejects_nan(self):
+        x = np.ones((4, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(AnalysisError):
+            standardize(x)
+
+    @given(arrays(np.float64, (20, 3),
+                  elements={"min_value": -1e6, "max_value": 1e6}))
+    @settings(max_examples=50)
+    def test_transform_is_affine_invertible(self, x):
+        scaler = Standardizer()
+        z = scaler.fit_transform(x)
+        back = z * scaler.stds_ + scaler.means_
+        assert np.allclose(back, x, atol=1e-6)

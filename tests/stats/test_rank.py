@@ -1,0 +1,66 @@
+"""Tests for rank correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.rank import _ranks, kendall_tau, spearman_rho
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        assert list(_ranks([10.0, 30.0, 20.0])) == [1.0, 3.0, 2.0]
+
+    def test_ties_share_mean_rank(self):
+        assert list(_ranks([5.0, 5.0, 1.0])) == [2.5, 2.5, 1.0]
+
+
+class TestSpearman:
+    def test_monotone_is_one(self):
+        x = np.arange(10.0)
+        assert spearman_rho(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.arange(10.0)
+        assert spearman_rho(x, -x) == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            spearman_rho([1.0], [2.0])
+        with pytest.raises(AnalysisError):
+            spearman_rho([1, 2, 3], [1, 2])
+
+
+class TestKendall:
+    def test_identical_order_is_one(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_reversed_is_minus_one(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_one_swap(self):
+        # One discordant pair out of three.
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1.0 / 3.0)
+
+    def test_ties_are_neutral(self):
+        tau = kendall_tau([1, 2, 3], [1, 1, 2])
+        assert tau == pytest.approx(2.0 / 3.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=20, unique=True))
+    @settings(max_examples=60)
+    def test_self_correlation_is_one(self, values):
+        assert kendall_tau(values, values) == pytest.approx(1.0)
+        assert spearman_rho(values, values) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=15, unique=True),
+           st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=15, max_size=15, unique=True))
+    @settings(max_examples=40)
+    def test_tau_bounded(self, x, y):
+        if len(x) != len(y):
+            y = y[:len(x)]
+        tau = kendall_tau(x, y)
+        assert -1.0 <= tau <= 1.0

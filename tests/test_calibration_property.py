@@ -1,0 +1,132 @@
+"""Property-based test of the central calibration invariant.
+
+For *any* valid workload profile — not just the 223 shipped ones — running
+the synthetic trace through the real cache hierarchy, branch predictor, and
+pipeline model on the Table-I configuration must land near the profile's
+targets.  This is the property that makes the whole substitution argument
+work, so it gets hammered with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import haswell_e5_2650l_v3
+from repro.uarch.core import SimulatedCore
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import (
+    BranchBehavior,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+
+CONFIG = haswell_e5_2650l_v3()
+CORE = SimulatedCore(CONFIG)
+GENERATOR = TraceGenerator(CONFIG)
+
+
+@st.composite
+def profiles(draw):
+    loads = draw(st.floats(min_value=0.10, max_value=0.40))
+    stores = draw(st.floats(min_value=0.01, max_value=0.15))
+    branches = draw(st.floats(min_value=0.05, max_value=0.30))
+    m1 = draw(st.floats(min_value=0.002, max_value=0.25))
+    m2 = draw(st.floats(min_value=0.05, max_value=0.9))
+    m3 = draw(st.floats(min_value=0.05, max_value=0.9))
+    mispredict = draw(st.floats(min_value=0.001, max_value=0.12))
+    ipc = draw(st.floats(min_value=0.2, max_value=3.0))
+    rss = draw(st.floats(min_value=1e6, max_value=2e10))
+    return WorkloadProfile(
+        benchmark="999.hypothesis",
+        input_name="",
+        suite=MiniSuite.RATE_INT,
+        input_size=InputSize.REF,
+        instructions=1e12,
+        target_ipc=ipc,
+        exec_time_seconds=500.0,
+        mix=InstructionMix(loads, stores, branches),
+        memory=MemoryBehavior(m1, m2, m3, rss, rss * 1.2),
+        branches=BranchBehavior(mispredict),
+    )
+
+
+@given(profile=profiles())
+@settings(max_examples=25, deadline=None)
+def test_simulated_rates_land_on_targets(profile):
+    trace = GENERATOR.generate(profile, n_ops=24_000)
+    result = CORE.run(trace)
+
+    # Instruction mix: exact up to stratified rounding.
+    loads, stores, branches = result.mix_fractions
+    assert loads == pytest.approx(profile.mix.load_fraction, abs=2e-3)
+    assert stores == pytest.approx(profile.mix.store_fraction, abs=2e-3)
+    assert branches == pytest.approx(profile.mix.branch_fraction, abs=2e-3)
+
+    # Cache miss rates: engineered by region construction.  Tolerances are
+    # count-aware: a level reached by N sampled loads carries ~1/sqrt(N)
+    # hypergeometric noise from the warmup-window cut, so deep levels of
+    # low-traffic profiles get proportionally wider bands (and are skipped
+    # entirely when only a handful of accesses reach them).
+    m1, m2, m3 = result.load_miss_rates
+    memory = profile.memory
+    window_loads = profile.mix.load_fraction * result.window_ops
+
+    def band(expected_events: float) -> float:
+        return 4.0 / max(expected_events, 1e-9) ** 0.5
+
+    l1_events = window_loads * memory.target_l1_miss_rate
+    assert m1 == pytest.approx(
+        memory.target_l1_miss_rate,
+        rel=max(0.05, band(l1_events)), abs=0.005,
+    )
+    l2_events = l1_events * memory.target_l2_miss_rate
+    if l1_events >= 30:
+        assert m2 == pytest.approx(
+            memory.target_l2_miss_rate,
+            rel=max(0.10, band(l2_events)), abs=0.02,
+        )
+    if l2_events >= 30:
+        assert m3 == pytest.approx(
+            memory.target_l3_miss_rate,
+            rel=max(0.15, band(l2_events * memory.target_l3_miss_rate)),
+            abs=0.03,
+        )
+
+    # Branch mispredict rate: tournament predictor on the easy/hard mix.
+    # Count-aware band, like the cache levels: short conditional streams
+    # see only a few dozen mispredict events in the measurement window.
+    target_misp = profile.branches.target_mispredict_rate
+    cond_share = profile.mix.branch_mix.conditional
+    expected_misses = result.window_conditionals * target_misp / max(
+        cond_share, 1e-9
+    )
+    assert result.mispredict_rate == pytest.approx(
+        target_misp, rel=max(0.30, 5.0 * band(expected_misses) / 4.0),
+        abs=0.006,
+    )
+
+    # IPC: the calibrated pipeline must land on the target.
+    assert result.ipc == pytest.approx(profile.target_ipc, rel=0.15)
+
+
+@given(profile=profiles(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic_per_seed(profile, seed):
+    a = CORE.run(GENERATOR.generate(profile, n_ops=6_000, seed=seed))
+    b = CORE.run(GENERATOR.generate(profile, n_ops=6_000, seed=seed))
+    assert a.ipc == b.ipc
+    assert a.load_miss_rates == b.load_miss_rates
+    assert a.mispredict_rate == b.mispredict_rate
+
+
+@given(profile=profiles())
+@settings(max_examples=15, deadline=None)
+def test_footprint_estimate_tracks_target(profile):
+    trace = GENERATOR.generate(profile, n_ops=24_000)
+    result = CORE.run(trace)
+    assert result.footprint.rss_bytes == pytest.approx(
+        profile.memory.rss_bytes, rel=0.35
+    )
+    assert result.footprint.vsz_bytes == profile.memory.vsz_bytes

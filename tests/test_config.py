@@ -1,0 +1,161 @@
+"""Tests for repro.config (Table I system model)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    PipelineConfig,
+    SystemConfig,
+    get_config,
+    haswell_e5_2650l_v3,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_l1_geometry(self):
+        cache = CacheConfig("L1D", 32 * 1024, 8)
+        assert cache.num_sets == 64
+        assert cache.num_lines == 512
+
+    def test_l2_geometry(self):
+        cache = CacheConfig("L2", 256 * 1024, 8)
+        assert cache.num_sets == 512
+
+    def test_l3_geometry_matches_paper_capacity(self):
+        cache = haswell_e5_2650l_v3().l3
+        assert cache.size_bytes == 30 * 1024 * 1024
+        assert cache.num_sets == 32768
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 0, 8)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1024, 0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 32 * 1024, 8, line_size=48)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 3 * 64 * 8 * 5, 8)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 32 * 1024, 8, replacement="mru")
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 32 * 1024, 8, hit_latency=-1)
+
+    def test_scaled_doubles_capacity(self):
+        cache = CacheConfig("L2", 256 * 1024, 8)
+        bigger = cache.scaled(2.0)
+        assert bigger.size_bytes == 512 * 1024
+        assert bigger.associativity == cache.associativity
+
+    def test_scaled_halves_capacity(self):
+        cache = CacheConfig("L2", 256 * 1024, 8)
+        assert cache.scaled(0.5).size_bytes == 128 * 1024
+
+    def test_scaled_rounds_to_power_of_two_sets(self):
+        cache = CacheConfig("L2", 256 * 1024, 8)
+        scaled = cache.scaled(0.7)
+        assert scaled.num_sets & (scaled.num_sets - 1) == 0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("L2", 256 * 1024, 8).scaled(0)
+
+
+class TestPipelineConfig:
+    def test_defaults_valid(self):
+        pipe = PipelineConfig()
+        assert pipe.dispatch_width == 4
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(dispatch_width=0)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(mlp_overlap=1.0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(mispredict_penalty=-1)
+
+
+class TestSystemConfig:
+    def test_haswell_matches_table1(self):
+        config = haswell_e5_2650l_v3()
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l1d.associativity == 8
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.l3.shared
+        assert config.memory_bytes == 64 * 1024**3
+        assert config.sockets == 2
+        assert config.cores_per_socket == 12
+
+    def test_total_threads(self):
+        config = haswell_e5_2650l_v3()
+        assert config.total_cores == 24
+        assert config.total_threads == 48
+
+    def test_cache_levels_innermost_first(self):
+        config = haswell_e5_2650l_v3()
+        names = [c.name for c in config.cache_levels()]
+        assert names == ["L1D", "L2", "L3"]
+
+    def test_table1_rows_cover_all_components(self):
+        rows = haswell_e5_2650l_v3().table1_rows()
+        components = [row[0] for row in rows]
+        assert components == [
+            "Processors", "Memory", "L1 I Cache", "L1 D Cache",
+            "L2 Cache", "L3 Cache", "OS",
+        ]
+
+    def test_table1_mentions_haswell_and_rhel(self):
+        text = "\n".join(v for _, v in haswell_e5_2650l_v3().table1_rows())
+        assert "Haswell" in text
+        assert "Red Hat" in text
+
+    def test_with_l3_scaled(self):
+        config = haswell_e5_2650l_v3()
+        half = config.with_l3_scaled(0.5)
+        assert half.l3.size_bytes == 15 * 1024 * 1024
+        assert half.l2.size_bytes == config.l2.size_bytes
+
+    def test_with_predictor(self):
+        config = haswell_e5_2650l_v3().with_predictor("gshare")
+        assert config.branch_predictor == "gshare"
+
+    def test_rejects_unknown_predictor(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(branch_predictor="tage")
+
+    def test_rejects_mixed_line_sizes(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                l1d=CacheConfig("L1D", 32 * 1024, 8, line_size=32),
+            )
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(frequency_hz=0)
+
+
+class TestRegistry:
+    def test_get_config_haswell(self):
+        assert get_config("haswell").name == "haswell-e5-2650l-v3"
+
+    def test_get_config_default(self):
+        assert get_config().sockets == 2
+
+    def test_get_config_unknown(self):
+        with pytest.raises(ConfigError, match="unknown config"):
+            get_config("skylake")

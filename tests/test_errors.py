@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.WorkloadError,
+            errors.UnknownBenchmarkError,
+            errors.SimulationError,
+            errors.CounterError,
+            errors.CollectionError,
+            errors.AnalysisError,
+            errors.ClusteringError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_unknown_benchmark_is_workload_error(self):
+        assert issubclass(errors.UnknownBenchmarkError, errors.WorkloadError)
+
+    def test_clustering_is_analysis_error(self):
+        assert issubclass(errors.ClusteringError, errors.AnalysisError)
+
+
+class TestMessages:
+    def test_unknown_benchmark_suggestions(self):
+        error = errors.UnknownBenchmarkError("505.mcf", ("505.mcf_r",))
+        assert "505.mcf" in str(error)
+        assert "did you mean" in str(error)
+        assert error.candidates == ("505.mcf_r",)
+
+    def test_unknown_benchmark_without_suggestions(self):
+        error = errors.UnknownBenchmarkError("nope")
+        assert "did you mean" not in str(error)
+
+    def test_collection_error_carries_pair(self):
+        error = errors.CollectionError("627.cam4_s/ref", "perf failed")
+        assert error.pair_name == "627.cam4_s/ref"
+        assert "perf failed" in str(error)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in-process (imported as a module and its main()
+called) with stdout captured, so failures surface as ordinary test
+failures with tracebacks.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "subset_selection",
+    "cache_sensitivity",
+    "custom_workload",
+    "phase_analysis",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "%s produced no output" % name
+
+
+def test_quickstart_reports_ipc_gap(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "mcf" in out
+
+def test_subset_selection_reports_savings(capsys):
+    load_example("subset_selection").main()
+    out = capsys.readouterr().out
+    assert "saving" in out
+    assert "rate" in out and "speed" in out
+
+
+def test_phase_analysis_reports_purity(capsys):
+    load_example("phase_analysis").main()
+    out = capsys.readouterr().out
+    assert "purity" in out
+    assert "simulation points" in out

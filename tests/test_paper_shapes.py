@@ -1,0 +1,217 @@
+"""Integration tests: the paper's headline qualitative results.
+
+These are the DESIGN.md success criteria — orderings, suite-level
+relations, and statistical shapes that must survive the substitution of the
+synthetic substrate for licensed SPEC binaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson
+from repro.workloads.profile import InputSize, MiniSuite
+
+
+def by_name(metrics):
+    return {m.pair_name: m for m in metrics}
+
+
+def app_metric(app_means, benchmark):
+    return next(m for m in app_means if m.benchmark == benchmark)
+
+
+@pytest.fixture(scope="module")
+def means(app_means17):
+    return {m.benchmark: m for m in app_means17}
+
+
+class TestIPCOrderings:
+    """Section IV-A: per-application IPC extremes."""
+
+    def test_x264_highest_int_ipc(self, means):
+        int_apps = {n: m for n, m in means.items() if m.is_integer}
+        assert max(int_apps, key=lambda n: int_apps[n].ipc) in (
+            "525.x264_r", "625.x264_s",
+        )
+
+    def test_mcf_lowest_rate_int_ipc(self, means):
+        rate_int = {n: m for n, m in means.items()
+                    if m.suite is MiniSuite.RATE_INT}
+        assert min(rate_int, key=lambda n: rate_int[n].ipc) == "505.mcf_r"
+
+    def test_xz_s_lowest_speed_int_ipc(self, means):
+        speed_int = {n: m for n, m in means.items()
+                     if m.suite is MiniSuite.SPEED_INT}
+        assert min(speed_int, key=lambda n: speed_int[n].ipc) in (
+            "657.xz_s", "605.mcf_s",
+        )
+
+    def test_namd_highest_rate_fp_ipc(self, means):
+        rate_fp = {n: m for n, m in means.items()
+                   if m.suite is MiniSuite.RATE_FP}
+        assert max(rate_fp, key=lambda n: rate_fp[n].ipc) == "508.namd_r"
+
+    def test_pop2_highest_speed_fp_ipc(self, means):
+        speed_fp = {n: m for n, m in means.items()
+                    if m.suite is MiniSuite.SPEED_FP}
+        assert max(speed_fp, key=lambda n: speed_fp[n].ipc) == "628.pop2_s"
+
+    def test_lbm_s_lowest_ipc_of_all(self, means):
+        assert min(means, key=lambda n: means[n].ipc) == "619.lbm_s"
+
+    def test_fotonik_lowest_rate_fp_ipc(self, means):
+        rate_fp = {n: m for n, m in means.items()
+                   if m.suite is MiniSuite.RATE_FP}
+        assert min(rate_fp, key=lambda n: rate_fp[n].ipc) == "549.fotonik3d_r"
+
+
+class TestMixOrderings:
+    """Section IV-B: instruction-mix extremes."""
+
+    def test_mcf_most_branches(self, means):
+        assert max(means, key=lambda n: means[n].branch_pct) in (
+            "505.mcf_r", "605.mcf_s",
+        )
+
+    def test_lbm_r_fewest_branches(self, means):
+        assert min(means, key=lambda n: means[n].branch_pct) == "519.lbm_r"
+
+    def test_cactu_most_memory_ops(self, means):
+        assert max(means, key=lambda n: means[n].memory_pct) == "507.cactuBSSN_r"
+
+    def test_roms_s_fewest_memory_ops(self, means):
+        assert min(means, key=lambda n: means[n].memory_pct) == "654.roms_s"
+
+    def test_exchange2_most_int_stores(self, means):
+        int_apps = {n: m for n, m in means.items() if m.is_integer}
+        assert max(int_apps, key=lambda n: int_apps[n].store_pct) in (
+            "548.exchange2_r", "648.exchange2_s",
+        )
+
+    def test_conditional_branches_dominate(self, app_means17):
+        """Paper: 78.7% of branch instructions are conditional."""
+        share = np.mean([m.branch_subtype_pct[0] for m in app_means17])
+        assert 70.0 < share < 90.0
+
+
+class TestCacheAndBranchOrderings:
+    """Sections IV-D and IV-E."""
+
+    def test_mcf_s_highest_speed_l2(self, means):
+        assert max(means, key=lambda n: means[n].l2_miss_pct) == "605.mcf_s"
+
+    def test_deepsjeng_highest_l3(self, means):
+        assert max(means, key=lambda n: means[n].l3_miss_pct) in (
+            "531.deepsjeng_r", "631.deepsjeng_s",
+        )
+
+    def test_leela_worst_mispredicts(self, means):
+        assert max(means, key=lambda n: means[n].mispredict_pct) in (
+            "541.leela_r", "641.leela_s",
+        )
+
+    def test_l2_exceeds_l3_for_most_apps(self, app_means17):
+        """Paper: L2 miss rates exceed L3 for 34 of the applications."""
+        count = sum(1 for m in app_means17 if m.l2_miss_pct > m.l3_miss_pct)
+        assert count >= 30
+
+    def test_int_mispredicts_exceed_fp(self, app_means17):
+        ints = [m.mispredict_pct for m in app_means17 if m.is_integer]
+        fps = [m.mispredict_pct for m in app_means17 if not m.is_integer]
+        assert np.mean(ints) > 2 * np.mean(fps)
+
+
+class TestFootprints:
+    def test_xz_s_largest_footprint(self, means):
+        assert max(means, key=lambda n: means[n].vsz_gib) == "657.xz_s"
+
+    def test_exchange2_r_smallest_rss(self, means):
+        assert min(means, key=lambda n: means[n].rss_gib) in (
+            "548.exchange2_r", "648.exchange2_s",
+        )
+
+    def test_speed_footprints_dwarf_rate(self, app_means17):
+        """Paper: speed RSS ~8.3x rate RSS."""
+        speed = np.mean([m.rss_gib for m in app_means17 if m.is_speed])
+        rate = np.mean([m.rss_gib for m in app_means17 if not m.is_speed])
+        assert speed > 4 * rate
+
+    def test_footprint_anticorrelates_with_ipc(self, app_means17):
+        """Paper: RSS/VSZ correlate -0.465/-0.510 with IPC."""
+        ipc = [m.ipc for m in app_means17]
+        rss = [m.rss_gib for m in app_means17]
+        vsz = [m.vsz_gib for m in app_means17]
+        assert pearson(rss, ipc) < -0.2
+        assert pearson(vsz, ipc) < -0.2
+
+    def test_miss_rates_anticorrelate_with_ipc(self, app_means17):
+        """Paper: L1/L2/L3 miss rates correlate -0.282/-0.479/-0.137."""
+        ipc = [m.ipc for m in app_means17]
+        l2 = [m.l2_miss_pct for m in app_means17]
+        assert pearson(l2, ipc) < -0.2
+
+
+class TestRedundancyAnalysis:
+    """Section V: PCA + clustering shapes."""
+
+    def test_bwaves_inputs_nearly_coincide_in_pc_space(self, selector, suite17):
+        result, labels = selector.pca(suite17)
+        index = {label: i for i, label in enumerate(labels)}
+        in1 = result.scores[index["603.bwaves_s-in1/ref"]]
+        in2 = result.scores[index["603.bwaves_s-in2/ref"]]
+        cactu = result.scores[index["607.cactuBSSN_s/ref"]]
+        within = np.linalg.norm(in1 - in2)
+        across = np.linalg.norm(in1 - cactu)
+        assert across > 5 * within
+
+    def test_bwaves_pair_merges_before_cactu(self, selector, suite17):
+        result = selector.select(suite17, "speed")
+        dendrogram = result.dendrogram()
+        order = dendrogram.leaf_order()
+        assert abs(
+            order.index("603.bwaves_s-in1/ref")
+            - order.index("603.bwaves_s-in2/ref")
+        ) == 1
+
+    def test_pc1_dominated_by_raw_counts(self, selector, suite17):
+        """Paper Fig. 8: PC1 is positively dominated by instruction,
+        memory-uop and branch counts."""
+        from repro.core.features import FEATURE_NAMES
+        from repro.stats.factor import factor_loadings
+
+        result, _ = selector.pca(suite17)
+        loadings = factor_loadings(result, FEATURE_NAMES)
+        top = {name for name, _ in loadings.dominant(1, k=6, sign="absolute")}
+        raw_counts = {
+            "inst_retired.any",
+            "mem_uops_retired.all_loads",
+            "mem_uops_retired.all_stores",
+            "br_inst_exec.all_branches",
+        }
+        assert len(top & raw_counts) >= 3
+
+    def test_footprint_loads_strongly_somewhere(self, selector, suite17):
+        """Paper Fig. 8: PC4 is dominated by RSS/VSZ; our PCs may order
+        differently, but footprint must dominate one of the four."""
+        from repro.core.features import FEATURE_NAMES
+        from repro.stats.factor import factor_loadings
+
+        result, _ = selector.pca(suite17)
+        loadings = factor_loadings(result, FEATURE_NAMES)
+        best = max(
+            abs(loadings.loadings[pc][FEATURE_NAMES.index("rss")])
+            for pc in range(4)
+        )
+        assert best > 0.4
+
+
+class TestCollectionErrors:
+    def test_exactly_five_error_pairs(self, suite17):
+        errors = [p for p in suite17.pairs() if p.profile.collection_error]
+        assert len(errors) == 5
+
+    def test_total_pair_count(self, suite17):
+        assert suite17.pair_count() == 194
+        assert suite17.pair_count(InputSize.TEST) == 69
+        assert suite17.pair_count(InputSize.TRAIN) == 61
+        assert suite17.pair_count(InputSize.REF) == 64

@@ -1,0 +1,121 @@
+"""Tests for the branch predictor family."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    TwoLevelPredictor,
+    make_predictor,
+)
+
+ALL_FAMILIES = ["static", "bimodal", "gshare", "two_level", "tournament"]
+
+
+def drive(predictor, stream):
+    """Feed (site, taken) pairs; return the mispredict rate."""
+    for site, taken in stream:
+        predictor.access(site, taken)
+    return predictor.stats.mispredict_rate
+
+
+def biased_stream(n=2000, sites=8, seed=1):
+    rng = random.Random(seed)
+    return [(rng.randrange(sites), True) for _ in range(n)]
+
+
+def random_stream(n=2000, sites=8, seed=2):
+    rng = random.Random(seed)
+    return [(rng.randrange(sites), rng.random() < 0.5) for _ in range(n)]
+
+
+def alternating_stream(n=2000, site=5):
+    return [(site, i % 2 == 0) for i in range(n)]
+
+
+class TestStatic:
+    def test_always_taken(self):
+        predictor = StaticTakenPredictor()
+        assert predictor.predict(123) is True
+
+    def test_mispredicts_not_taken(self):
+        predictor = StaticTakenPredictor()
+        rate = drive(predictor, [(1, False)] * 100)
+        assert rate == 1.0
+
+
+@pytest.mark.parametrize("family", ["bimodal", "gshare", "two_level", "tournament"])
+class TestLearningFamilies:
+    def test_learns_biased_branches(self, family):
+        rate = drive(make_predictor(family), biased_stream())
+        assert rate < 0.02
+
+    def test_cannot_learn_random(self, family):
+        rate = drive(make_predictor(family), random_stream(4000))
+        assert 0.40 < rate < 0.60
+
+    def test_stats_accumulate(self, family):
+        predictor = make_predictor(family)
+        drive(predictor, biased_stream(500))
+        assert predictor.stats.predictions == 500
+
+    def test_reset_stats(self, family):
+        predictor = make_predictor(family)
+        drive(predictor, biased_stream(100))
+        predictor.reset_stats()
+        assert predictor.stats.predictions == 0
+
+
+class TestPatternCapture:
+    def test_two_level_learns_alternation(self):
+        rate = drive(TwoLevelPredictor(), alternating_stream())
+        assert rate < 0.05
+
+    def test_bimodal_cannot_learn_alternation(self):
+        rate = drive(BimodalPredictor(), alternating_stream())
+        assert rate > 0.4
+
+    def test_gshare_learns_alternation(self):
+        rate = drive(GSharePredictor(), alternating_stream())
+        assert rate < 0.05
+
+
+class TestTournament:
+    def test_no_worse_than_both_components_on_mixed_load(self):
+        stream = biased_stream(1500, seed=3) + alternating_stream(1500)
+        random.Random(4).shuffle(stream)
+        rates = {
+            family: drive(make_predictor(family), list(stream))
+            for family in ("bimodal", "gshare", "tournament")
+        }
+        assert rates["tournament"] <= min(rates["bimodal"], rates["gshare"]) + 0.05
+
+
+class TestValidation:
+    def test_table_size_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(size=1000)
+        with pytest.raises(ConfigError):
+            GSharePredictor(size=0)
+
+    def test_make_predictor_unknown(self):
+        with pytest.raises(ConfigError):
+            make_predictor("perceptron")
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_factory_names(self, family):
+        assert make_predictor(family).name == family
+
+    def test_accuracy_complements_mispredicts(self):
+        predictor = BimodalPredictor()
+        drive(predictor, random_stream(500))
+        stats = predictor.stats
+        assert stats.accuracy == pytest.approx(1.0 - stats.mispredict_rate)
+
+    def test_empty_stats(self):
+        assert BimodalPredictor().stats.mispredict_rate == 0.0

@@ -1,0 +1,111 @@
+"""Tests for the BTB, RAS, and front-end observer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.btb import BranchTargetBuffer, FrontEnd, ReturnAddressStack
+from repro.workloads.generator import (
+    BR_DIRECT_CALL,
+    BR_DIRECT_JUMP,
+    BR_INDIRECT_RETURN,
+    TraceGenerator,
+)
+from repro.workloads.profile import InputSize
+
+
+class TestBTB:
+    def test_first_access_misses_then_hits(self):
+        btb = BranchTargetBuffer(entries=16, associativity=2)
+        assert btb.access(5) is False
+        assert btb.access(5) is True
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=2, associativity=2)  # one set
+        btb.access(0)
+        btb.access(2)
+        btb.access(0)      # refresh 0
+        btb.access(4)      # evicts 2
+        assert btb.access(0) is True
+        assert btb.access(2) is False
+
+    def test_small_site_sets_fit(self):
+        btb = BranchTargetBuffer(entries=512, associativity=4)
+        for _ in range(3):
+            for site in range(100):
+                btb.access(site)
+        # After the compulsory pass, everything hits.
+        assert btb.stats.misses == 100
+        assert btb.stats.hits == 200
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=0)
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=10, associativity=4)
+
+    def test_miss_rate(self):
+        btb = BranchTargetBuffer(entries=16, associativity=2)
+        btb.access(1)
+        btb.access(1)
+        assert btb.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestRAS:
+    def test_balanced_calls_return_correctly(self):
+        ras = ReturnAddressStack(depth=8)
+        for site in (1, 2, 3):
+            ras.push(site)
+        assert ras.pop(3) is True
+        assert ras.pop(2) is True
+        assert ras.pop(1) is True
+        assert ras.stats.return_mispredict_rate == 0.0
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack(depth=8)
+        assert ras.pop(1) is False
+        assert ras.stats.underflows == 1
+
+    def test_overflow_wraps_and_corrupts_deep_returns(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)      # drops 1
+        assert ras.stats.overflow_drops == 1
+        assert ras.pop(3) is True
+        assert ras.pop(2) is True
+        assert ras.pop(1) is False   # lost to the wrap
+
+    def test_occupancy_bounded(self):
+        ras = ReturnAddressStack(depth=4)
+        for site in range(10):
+            ras.push(site)
+        assert ras.occupancy == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(depth=0)
+
+
+class TestFrontEnd:
+    def test_call_return_pairing(self):
+        front = FrontEnd()
+        front.observe(BR_DIRECT_CALL, 7)
+        front.observe(BR_INDIRECT_RETURN, 0)
+        assert front.ras.stats.correct_pops == 1
+
+    def test_jumps_touch_btb(self):
+        front = FrontEnd()
+        front.observe(BR_DIRECT_JUMP, 3)
+        front.observe(BR_DIRECT_JUMP, 3)
+        assert front.btb.stats.hits == 1
+
+    def test_observe_full_trace(self, config, suite17):
+        profile = suite17.get("500.perlbench_r").profile(InputSize.REF)
+        trace = TraceGenerator(config).generate(profile, n_ops=20_000)
+        front = FrontEnd()
+        front.observe_trace(trace)
+        # Branch sites fit the BTB, so steady-state misses are compulsory.
+        assert front.btb.stats.miss_rate < 0.05
+        # Statistically-balanced calls/returns keep the RAS mostly right.
+        assert front.ras.stats.pops > 0
+        assert front.ras.stats.return_mispredict_rate < 0.6

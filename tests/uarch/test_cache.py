@@ -1,0 +1,194 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+from repro.uarch.cache import Cache
+
+
+def small_cache(assoc=2, sets=4, line=64, replacement="lru"):
+    return Cache(
+        CacheConfig(
+            "T", sets * assoc * line, assoc, line_size=line,
+            replacement=replacement,
+        )
+    )
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_next_line_misses(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(SimulationError):
+            small_cache().access(-1)
+
+    def test_probe_does_not_modify(self):
+        cache = small_cache()
+        assert cache.probe(0) is False
+        assert cache.stats.accesses == 0
+        cache.access(0)
+        assert cache.probe(0) is True
+        assert cache.stats.accesses == 1
+
+
+class TestEviction:
+    def test_associativity_respected(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0 (LRU)
+        assert cache.access(0) is False
+
+    def test_lru_keeps_recently_used(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)        # 64 becomes LRU
+        cache.access(128)      # evicts 64
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_cyclic_sweep_thrashes_lru(self):
+        """The generator's core guarantee: cycling over assoc+k lines of one
+        set misses on every access under LRU."""
+        cache = small_cache(assoc=4, sets=1)
+        lines = [i * 64 for i in range(6)]
+        for addr in lines:  # compulsory pass
+            cache.access(addr)
+        hits = sum(cache.access(addr) for _ in range(5) for addr in lines)
+        assert hits == 0
+
+    def test_working_set_within_assoc_always_hits(self):
+        cache = small_cache(assoc=4, sets=1)
+        lines = [i * 64 for i in range(4)]
+        for addr in lines:
+            cache.access(addr)
+        hits = sum(cache.access(addr) for _ in range(5) for addr in lines)
+        assert hits == 20
+
+
+class TestStats:
+    def test_load_store_split(self):
+        cache = small_cache()
+        cache.access(0, is_store=False)
+        cache.access(0, is_store=True)
+        cache.access(64, is_store=True)
+        stats = cache.stats
+        assert stats.load_misses == 1
+        assert stats.store_hits == 1
+        assert stats.store_misses == 1
+        assert stats.accesses == 3
+
+    def test_load_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.load_miss_rate == pytest.approx(0.5)
+
+    def test_empty_rates_are_zero(self):
+        stats = small_cache().stats
+        assert stats.load_miss_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        # Contents survive a stats reset.
+        assert cache.access(0) is True
+
+
+class TestWritePolicy:
+    def test_write_allocate_fills_on_store_miss(self):
+        cache = small_cache()
+        cache.access(0, is_store=True)
+        assert cache.probe(0) is True
+
+    def test_write_no_allocate_bypasses(self):
+        cache = Cache(
+            CacheConfig("T", 4 * 2 * 64, 2, write_allocate=False)
+        )
+        cache.access(0, is_store=True)
+        assert cache.probe(0) is False
+        assert cache.stats.store_misses == 1
+
+    def test_write_no_allocate_still_hits_resident_lines(self):
+        cache = Cache(
+            CacheConfig("T", 4 * 2 * 64, 2, write_allocate=False)
+        )
+        cache.access(0)                      # load fill
+        assert cache.access(0, is_store=True) is True
+
+    def test_no_allocate_preserves_load_behavior(self):
+        allocate = small_cache()
+        bypass = Cache(
+            CacheConfig("T", 4 * 2 * 64, 2, write_allocate=False)
+        )
+        for cache in (allocate, bypass):
+            cache.access(0)
+            cache.access(64)
+        assert allocate.probe(0) and bypass.probe(0)
+
+
+class TestInvalidate:
+    def test_invalidate_resident(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.invalidate(0) is True
+        assert cache.probe(0) is False
+
+    def test_invalidate_absent(self):
+        assert small_cache().invalidate(0) is False
+
+    def test_resident_lines(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(64)
+        assert cache.resident_lines() == 2
+        cache.invalidate(0)
+        assert cache.resident_lines() == 1
+
+
+class TestPropertyBased:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**20),
+                          min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_stats_always_consistent(self, addrs):
+        cache = small_cache(assoc=2, sets=8)
+        for addr in addrs:
+            cache.access(addr)
+        stats = cache.stats
+        assert stats.accesses == len(addrs)
+        assert stats.hits + stats.misses == len(addrs)
+        assert cache.resident_lines() <= cache.config.num_lines
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**16),
+                          min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_repeat_of_trace_only_improves(self, addrs):
+        """Replaying the same trace on a warm cache can only hit at least
+        as often (LRU inclusion-style property on one trace)."""
+        cold = small_cache(assoc=4, sets=8)
+        cold_hits = sum(cold.access(a) for a in addrs)
+        warm_hits = sum(cold.access(a) for a in addrs)
+        assert warm_hits >= cold_hits

@@ -1,0 +1,94 @@
+"""Tests for the cycle-level in-order core."""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.errors import SimulationError
+from repro.uarch.core import SimulatedCore
+from repro.uarch.cycle_core import InOrderCore
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import InputSize
+
+
+@pytest.fixture(scope="module")
+def generator(config):
+    return TraceGenerator(config)
+
+
+def run_inorder(config, generator, suite, name, n_ops=15_000, **kwargs):
+    profile = suite.get(name).profile(InputSize.REF)
+    trace = generator.generate(profile, n_ops=n_ops)
+    return InOrderCore(config, **kwargs).run(trace)
+
+
+class TestAccounting:
+    def test_cycles_at_least_issue_bound(self, config, generator, suite17):
+        result = run_inorder(config, generator, suite17, "525.x264_r")
+        assert result.cycles >= result.instructions / 2.0
+        assert result.ipc <= 2.0
+
+    def test_stall_breakdown_sums_to_one_or_less(self, config, generator, suite17):
+        result = run_inorder(config, generator, suite17, "505.mcf_r")
+        breakdown = result.stall_breakdown()
+        assert 0.99 <= sum(breakdown.values()) <= 1.01
+
+    def test_memory_bound_app_dominated_by_memory(self, config, generator, suite17):
+        result = run_inorder(config, generator, suite17, "549.fotonik3d_r")
+        breakdown = result.stall_breakdown()
+        assert breakdown["memory"] > breakdown["branch"]
+        assert breakdown["memory"] > 0.3
+
+    def test_branchy_app_pays_branch_stalls(self, config, generator, suite17):
+        leela = run_inorder(config, generator, suite17, "541.leela_r")
+        lbm = run_inorder(config, generator, suite17, "519.lbm_r")
+        assert (leela.stall_breakdown()["branch"]
+                > 5 * lbm.stall_breakdown()["branch"])
+
+    def test_max_ops_cap(self, config, generator, suite17):
+        profile = suite17.get("505.mcf_r").profile(InputSize.REF)
+        trace = generator.generate(profile, n_ops=10_000)
+        result = InOrderCore(config).run(trace, max_ops=2_000)
+        assert result.instructions == 2_000
+
+    def test_validation(self, config):
+        with pytest.raises(SimulationError):
+            InOrderCore(config, issue_width=0)
+        with pytest.raises(SimulationError):
+            InOrderCore(config, store_buffer_entries=0)
+
+
+class TestOrderingAgreement:
+    """The independent cycle model must order applications the same way
+    the calibrated analytical model does."""
+
+    APPS = ("525.x264_r", "505.mcf_r", "549.fotonik3d_r", "541.leela_r")
+
+    def test_ipc_ordering_matches_analytical_model(self, config, generator,
+                                                   suite17):
+        from repro.stats.rank import spearman_rho
+
+        analytical = SimulatedCore(config)
+        in_order = InOrderCore(config)
+        a_scores, c_scores = [], []
+        for name in self.APPS:
+            profile = suite17.get(name).profile(InputSize.REF)
+            trace = generator.generate(profile, n_ops=15_000)
+            a_scores.append(analytical.run(trace).ipc)
+            c_scores.append(in_order.run(trace).ipc)
+        assert spearman_rho(a_scores, c_scores) > 0.7
+
+    def test_in_order_core_is_slower(self, config, generator, suite17):
+        """Stall-on-use with no MLP must underperform the calibrated
+        out-of-order model on memory-bound work."""
+        profile = suite17.get("549.fotonik3d_r").profile(InputSize.REF)
+        trace = generator.generate(profile, n_ops=15_000)
+        out_of_order = SimulatedCore(config).run(trace).ipc
+        in_order = InOrderCore(config).run(trace).ipc
+        assert in_order < out_of_order
+
+    def test_wider_issue_helps_compute_bound(self, config, generator, suite17):
+        profile = suite17.get("548.exchange2_r").profile(InputSize.REF)
+        trace = generator.generate(profile, n_ops=15_000)
+        narrow = InOrderCore(config, issue_width=1).run(trace)
+        wide = InOrderCore(config, issue_width=4).run(trace)
+        assert wide.ipc > 1.5 * narrow.ipc

@@ -1,0 +1,84 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.uarch.hierarchy import AccessResult, MemoryHierarchy
+from repro.workloads.generator import RegionLayout
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(haswell_e5_2650l_v3())
+
+
+class TestServiceLevels:
+    def test_cold_access_goes_to_memory(self, hierarchy):
+        assert hierarchy.load(0) is AccessResult.MEMORY
+
+    def test_warm_access_hits_l1(self, hierarchy):
+        hierarchy.load(0)
+        assert hierarchy.load(0) is AccessResult.L1_HIT
+
+    def test_inclusive_fill(self, hierarchy):
+        hierarchy.load(0)
+        # The line now resides at every level.
+        assert hierarchy.l1.probe(0)
+        assert hierarchy.l2.probe(0)
+        assert hierarchy.l3.probe(0)
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        layout = RegionLayout(haswell_e5_2650l_v3())
+        warm = layout.lines[1]
+        for addr in warm:          # fill
+            hierarchy.load(int(addr))
+        result = hierarchy.load(int(warm[0]))
+        assert result is AccessResult.L2_HIT
+
+    def test_l3_hit_for_cool_region(self, hierarchy):
+        layout = RegionLayout(haswell_e5_2650l_v3())
+        cool = layout.lines[2]
+        for addr in cool:
+            hierarchy.load(int(addr))
+        assert hierarchy.load(int(cool[0])) is AccessResult.L3_HIT
+
+    def test_dram_region_always_misses(self, hierarchy):
+        layout = RegionLayout(haswell_e5_2650l_v3())
+        dram = layout.lines[3]
+        for addr in dram:
+            hierarchy.load(int(addr))
+        results = [hierarchy.load(int(a)) for a in dram]
+        assert all(r is AccessResult.MEMORY for r in results)
+
+
+class TestStats:
+    def test_load_served_counts(self, hierarchy):
+        hierarchy.load(0)            # memory
+        hierarchy.load(0)            # l1
+        stats = hierarchy.stats
+        assert stats.load_served == (1, 0, 0, 1)
+
+    def test_stores_not_counted_in_load_served(self, hierarchy):
+        hierarchy.store(0)
+        assert hierarchy.stats.load_served == (0, 0, 0, 0)
+        assert hierarchy.stats.l1.store_misses == 1
+
+    def test_load_miss_rates(self, hierarchy):
+        hierarchy.load(0)
+        hierarchy.load(0)
+        m1, m2, m3 = hierarchy.stats.load_miss_rates
+        assert m1 == pytest.approx(0.5)
+        assert m2 == pytest.approx(1.0)   # the one L1 miss missed L2 too
+        assert m3 == pytest.approx(1.0)
+
+    def test_warm_up_resets_counters_but_keeps_contents(self, hierarchy):
+        hierarchy.warm_up([0, 64, 128])
+        assert hierarchy.stats.l1.accesses == 0
+        assert hierarchy.load(0) is AccessResult.L1_HIT
+
+    def test_reset_stats(self, hierarchy):
+        hierarchy.load(0)
+        hierarchy.reset_stats()
+        stats = hierarchy.stats
+        assert stats.l1.accesses == 0
+        assert stats.load_served == (0, 0, 0, 0)

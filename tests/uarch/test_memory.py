@@ -1,0 +1,75 @@
+"""Tests for the footprint tracker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.memory import FootprintTracker
+from repro.workloads.generator import PAGE_SIZE
+from repro.workloads.profile import InputSize
+
+
+class TestTracker:
+    def test_requires_observations(self, mcf_ref):
+        with pytest.raises(SimulationError):
+            FootprintTracker(mcf_ref).estimate()
+
+    def test_rejects_bad_boost(self, mcf_ref):
+        with pytest.raises(SimulationError):
+            FootprintTracker(mcf_ref, pages_per_touch=0)
+
+    def test_touch_counting(self, mcf_ref):
+        tracker = FootprintTracker(mcf_ref)
+        tracker.observe_trace([True, False, True, False])
+        assert tracker.touched_pages == 2
+        assert tracker.growth_curve() == [1, 3]
+
+    def test_estimate_scales_to_nominal(self, mcf_ref):
+        # Emulate the generator's boosted touch probability exactly: the
+        # raw probability is far below 1/n, so events fire at the floor
+        # rate and each stands for pages_per_touch pages.
+        nominal_mem = mcf_ref.instructions * mcf_ref.mix.memory_fraction
+        p = mcf_ref.memory.rss_bytes / (PAGE_SIZE * nominal_mem)
+        n = 100_000
+        p_floor = 64 / n
+        tracker = FootprintTracker(mcf_ref, pages_per_touch=p / p_floor)
+        touches = int(round(p_floor * n))
+        flags = [True] * touches + [False] * (n - touches)
+        tracker.observe_trace(flags)
+        estimate = tracker.estimate()
+        assert estimate.rss_bytes == pytest.approx(
+            mcf_ref.memory.rss_bytes, rel=0.05
+        )
+
+    def test_boost_scales_linearly(self, mcf_ref):
+        plain = FootprintTracker(mcf_ref, pages_per_touch=1.0)
+        boosted = FootprintTracker(mcf_ref, pages_per_touch=0.5)
+        flags = [True] * 10 + [False] * 90
+        plain.observe_trace(flags)
+        boosted.observe_trace(flags)
+        assert boosted.estimate().rss_bytes == pytest.approx(
+            plain.estimate().rss_bytes / 2
+        )
+
+    def test_vsz_comes_from_profile(self, mcf_ref):
+        tracker = FootprintTracker(mcf_ref)
+        tracker.observe_trace([False] * 10)
+        assert tracker.estimate().vsz_bytes == mcf_ref.memory.vsz_bytes
+
+    def test_gib_conversions(self, mcf_ref):
+        tracker = FootprintTracker(mcf_ref)
+        tracker.observe_trace([False] * 10)
+        estimate = tracker.estimate()
+        assert estimate.vsz_gib == pytest.approx(estimate.vsz_bytes / 2**30)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["505.mcf_r", "548.exchange2_r", "657.xz_s", "603.bwaves_s"]
+    )
+    def test_estimates_track_profile_anchor(self, session, suite17, name):
+        profile = suite17.get(name).profile(InputSize.REF)
+        report = session.run(profile)
+        assert report.rss_bytes == pytest.approx(
+            profile.memory.rss_bytes, rel=0.35
+        )
+        assert report.vsz_bytes == profile.memory.vsz_bytes

@@ -1,0 +1,68 @@
+"""Tests for the interval-analysis pipeline model."""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.errors import SimulationError
+from repro.uarch.pipeline import CPIBreakdown, PipelineModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PipelineModel(haswell_e5_2650l_v3())
+
+
+class TestBreakdown:
+    def test_no_events_gives_base(self, model):
+        cpi = model.breakdown(1000, 0.5, 0, 0, 0, 0)
+        assert cpi.total == pytest.approx(0.5)
+        assert cpi.ipc == pytest.approx(2.0)
+
+    def test_branch_penalty_arithmetic(self, model):
+        pipe = haswell_e5_2650l_v3().pipeline
+        cpi = model.breakdown(1000, 0.5, 0, 0, 0, branch_mispredicts=10)
+        assert cpi.branch == pytest.approx(10 * pipe.mispredict_penalty / 1000)
+
+    def test_memory_penalty_ordering(self, model):
+        near = model.breakdown(1000, 0.5, 100, 0, 0, 0)
+        mid = model.breakdown(1000, 0.5, 0, 100, 0, 0)
+        far = model.breakdown(1000, 0.5, 0, 0, 100, 0)
+        assert near.memory < mid.memory < far.memory
+
+    def test_penalty_scale_halves_penalties(self, model):
+        full = model.breakdown(1000, 0.25, 50, 50, 50, 20, penalty_scale=1.0)
+        half = model.breakdown(1000, 0.25, 50, 50, 50, 20, penalty_scale=0.5)
+        assert half.memory == pytest.approx(full.memory / 2)
+        assert half.branch == pytest.approx(full.branch / 2)
+        assert half.base == full.base
+
+    def test_total_is_sum(self, model):
+        cpi = model.breakdown(1000, 0.3, 10, 5, 1, 3)
+        assert cpi.total == pytest.approx(cpi.base + cpi.memory + cpi.branch)
+
+    def test_as_dict_round_trip(self, model):
+        cpi = model.breakdown(1000, 0.3, 10, 5, 1, 3)
+        d = cpi.as_dict()
+        assert d["ipc"] == pytest.approx(cpi.ipc)
+        assert d["total_cpi"] == pytest.approx(cpi.total)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_ops(self, model):
+        with pytest.raises(SimulationError):
+            model.breakdown(0, 0.5, 0, 0, 0, 0)
+
+    def test_rejects_nonpositive_base(self, model):
+        with pytest.raises(SimulationError):
+            model.breakdown(100, 0.0, 0, 0, 0, 0)
+
+    def test_rejects_bad_scale(self, model):
+        with pytest.raises(SimulationError):
+            model.breakdown(100, 0.5, 0, 0, 0, 0, penalty_scale=0.0)
+        with pytest.raises(SimulationError):
+            model.breakdown(100, 0.5, 0, 0, 0, 0, penalty_scale=1.5)
+
+    def test_breakdown_dataclass(self):
+        cpi = CPIBreakdown(base=0.25, memory=0.5, branch=0.25)
+        assert cpi.total == 1.0
+        assert cpi.ipc == 1.0

@@ -1,0 +1,69 @@
+"""Tests for the prefetcher models."""
+
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(haswell_e5_2650l_v3())
+
+
+class TestNextLine:
+    def test_sequential_stream_benefits(self, hierarchy):
+        prefetcher = NextLinePrefetcher(hierarchy)
+        hits = 0
+        for i in range(64):
+            addr = i * 64
+            hits += hierarchy.load(addr) == 1
+            prefetcher.on_access(addr)
+        # After the first line, every access was prefetched.
+        assert hits >= 62
+
+    def test_prefetches_do_not_count_as_demand_misses(self, hierarchy):
+        prefetcher = NextLinePrefetcher(hierarchy)
+        hierarchy.load(0)
+        before = hierarchy.l1.stats.load_misses
+        prefetcher.on_access(0)
+        assert hierarchy.l1.stats.load_misses == before
+
+    def test_useful_counter(self, hierarchy):
+        prefetcher = NextLinePrefetcher(hierarchy)
+        prefetcher.on_access(0)     # prefetch line 1
+        prefetcher.on_access(0)     # line 1 now resident -> useful
+        assert prefetcher.stats.issued == 1
+        assert prefetcher.stats.useful == 1
+        assert prefetcher.stats.accuracy == pytest.approx(1.0)
+
+
+class TestStride:
+    def test_detects_constant_stride(self, hierarchy):
+        prefetcher = StridePrefetcher(hierarchy, degree=1)
+        issued = []
+        for i in range(6):
+            issued.extend(prefetcher.on_access(0, i * 256))
+        # Stride locks after two observations; later accesses prefetch.
+        assert issued
+        assert all(addr % 256 == 0 for addr in issued)
+
+    def test_no_prefetch_without_stable_stride(self, hierarchy):
+        prefetcher = StridePrefetcher(hierarchy)
+        issued = []
+        for addr in (0, 640, 64, 8192, 320):
+            issued.extend(prefetcher.on_access(0, addr))
+        assert issued == []
+
+    def test_streams_tracked_independently(self, hierarchy):
+        prefetcher = StridePrefetcher(hierarchy, degree=1)
+        for i in range(6):
+            prefetcher.on_access(0, i * 128)
+            prefetcher.on_access(1, 10_000_000 - i * 256)
+        assert prefetcher.stats.issued > 0
+
+    def test_zero_stride_never_prefetches(self, hierarchy):
+        prefetcher = StridePrefetcher(hierarchy)
+        for _ in range(10):
+            assert prefetcher.on_access(0, 4096) == []

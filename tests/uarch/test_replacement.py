@@ -1,0 +1,91 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        state = policy.make_set(4)
+        for way in (0, 1, 2, 3):
+            policy.on_access(state, way)
+        policy.on_access(state, 0)  # refresh way 0
+        assert policy.victim(state) == 1
+
+    def test_repeated_access_keeps_way_hot(self):
+        policy = LRUPolicy()
+        state = policy.make_set(2)
+        policy.on_access(state, 0)
+        policy.on_access(state, 1)
+        policy.on_access(state, 0)
+        assert policy.victim(state) == 1
+
+
+class TestFIFO:
+    def test_round_robin_victims(self):
+        policy = FIFOPolicy()
+        state = policy.make_set(3)
+        assert [policy.victim(state) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_accesses_do_not_reorder(self):
+        policy = FIFOPolicy()
+        state = policy.make_set(3)
+        policy.on_access(state, 2)
+        assert policy.victim(state) == 0
+
+
+class TestRandom:
+    def test_victims_in_range(self):
+        policy = RandomPolicy(seed=7)
+        state = policy.make_set(8)
+        for _ in range(100):
+            assert 0 <= policy.victim(state) < 8
+
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(seed=3)
+        b = RandomPolicy(seed=3)
+        state_a, state_b = a.make_set(8), b.make_set(8)
+        assert [a.victim(state_a) for _ in range(10)] == [
+            b.victim(state_b) for _ in range(10)
+        ]
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            TreePLRUPolicy().make_set(6)
+
+    def test_victim_avoids_recent_way(self):
+        policy = TreePLRUPolicy()
+        state = policy.make_set(4)
+        policy.on_access(state, 0)
+        assert policy.victim(state) != 0
+
+    def test_full_rotation_touches_everything(self):
+        policy = TreePLRUPolicy()
+        state = policy.make_set(8)
+        seen = set()
+        for _ in range(8):
+            way = policy.victim(state)
+            policy.on_access(state, way)
+            seen.add(way)
+        assert seen == set(range(8))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "plru"])
+    def test_make_policy(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady")

@@ -1,0 +1,64 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.tlb import TLB
+
+
+class TestTLB:
+    def test_first_access_misses(self):
+        tlb = TLB(entries=4)
+        assert tlb.access(0) is False
+
+    def test_same_page_hits(self):
+        tlb = TLB(entries=4)
+        tlb.access(100)
+        assert tlb.access(200) is True      # same 4 KiB page
+
+    def test_different_page_misses(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        assert tlb.access(4096) is False
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(0 * 4096)      # refresh page 0
+        tlb.access(2 * 4096)      # evicts page 1
+        assert tlb.access(0 * 4096) is True
+        assert tlb.access(1 * 4096) is False
+
+    def test_capacity_bound(self):
+        tlb = TLB(entries=8)
+        for page in range(100):
+            tlb.access(page * 4096)
+        assert len(tlb._pages) <= 8
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        tlb.reset_stats()
+        assert tlb.stats.hits == 0
+        assert tlb.stats.misses == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=0)
+        with pytest.raises(ConfigError):
+            TLB(page_size=1000)
+
+    def test_large_footprint_thrashes_small_tlb(self):
+        small, large = TLB(entries=4), TLB(entries=512)
+        pages = [(i % 64) * 4096 for i in range(1000)]
+        for addr in pages:
+            small.access(addr)
+            large.access(addr)
+        assert small.stats.miss_rate > large.stats.miss_rate

@@ -1,0 +1,146 @@
+"""Tests for the calibration solvers, including the round-trip properties
+that make the generator's by-construction guarantees work."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import haswell_e5_2650l_v3
+from repro.errors import WorkloadError
+from repro.workloads.calibrate import (
+    BranchKnobs,
+    HARD_MISPREDICT,
+    PipelineParams,
+    RegionFractions,
+    branch_knobs,
+    effective_parallelism,
+    expected_penalty_cpi,
+    solve_base_cpi,
+    solve_pipeline_params,
+    solve_region_fractions,
+)
+from repro.workloads.profile import InputSize
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestRegionFractions:
+    def test_sum_to_one_required(self):
+        with pytest.raises(WorkloadError):
+            RegionFractions(0.5, 0.5, 0.5, 0.5)
+
+    def test_solve_known_case(self):
+        fractions = solve_region_fractions(0.10, 0.50, 0.20)
+        assert fractions.hot == pytest.approx(0.90)
+        assert fractions.warm == pytest.approx(0.05)
+        assert fractions.cool == pytest.approx(0.04)
+        assert fractions.dram == pytest.approx(0.01)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            solve_region_fractions(1.5, 0.1, 0.1)
+
+    @given(m1=rates, m2=rates, m3=rates)
+    @settings(max_examples=200)
+    def test_round_trip_property(self, m1, m2, m3):
+        """solve() and expected_miss_rates() are exact inverses wherever
+        the rates are well-defined (nonzero denominators)."""
+        fractions = solve_region_fractions(m1, m2, m3)
+        r1, r2, r3 = fractions.expected_miss_rates
+        assert r1 == pytest.approx(m1, abs=1e-12)
+        # Guard against float underflow in the tiny-denominator regimes.
+        if m1 > 1e-9:
+            assert r2 == pytest.approx(m2, abs=1e-6)
+        if m1 * m2 > 1e-9:
+            assert r3 == pytest.approx(m3, abs=1e-6)
+
+    @given(m1=rates, m2=rates, m3=rates)
+    @settings(max_examples=200)
+    def test_fractions_always_valid(self, m1, m2, m3):
+        fractions = solve_region_fractions(m1, m2, m3)
+        total = sum(fractions.as_tuple())
+        assert total == pytest.approx(1.0)
+        assert all(f >= -1e-12 for f in fractions.as_tuple())
+
+
+class TestBranchKnobs:
+    def test_zero_target_zero_hard(self, mcf_ref):
+        profile = mcf_ref
+        zero = profile.branches.__class__(target_mispredict_rate=0.0)
+        knobs = branch_knobs(
+            profile.__class__(**{**profile.__dict__, "branches": zero})
+        )
+        assert knobs.hard_fraction == 0.0
+
+    def test_high_target_caps_at_one(self, suite17):
+        leela = suite17.get("541.leela_r").profile(InputSize.REF)
+        knobs = branch_knobs(leela)
+        assert 0.0 < knobs.hard_fraction < 1.0
+
+    def test_hard_fraction_monotone_in_target(self, suite17):
+        lbm = suite17.get("519.lbm_r").profile(InputSize.REF)
+        leela = suite17.get("541.leela_r").profile(InputSize.REF)
+        assert branch_knobs(lbm).hard_fraction < branch_knobs(leela).hard_fraction
+
+    def test_knob_validation(self):
+        with pytest.raises(WorkloadError):
+            BranchKnobs(hard_fraction=1.5, easy_flip=0.0)
+        with pytest.raises(WorkloadError):
+            BranchKnobs(hard_fraction=0.5, easy_flip=0.9)
+
+    def test_hard_mispredict_constant(self):
+        assert HARD_MISPREDICT == 0.5
+
+
+class TestPipelineParams:
+    def test_base_cpi_hits_target_when_headroom(self, x264_ref):
+        config = haswell_e5_2650l_v3()
+        params = solve_pipeline_params(x264_ref, config)
+        penalty = expected_penalty_cpi(x264_ref, config) * params.penalty_scale
+        assert params.base_cpi + penalty == pytest.approx(
+            1.0 / x264_ref.target_ipc, rel=1e-6
+        )
+
+    def test_penalty_scale_engages_for_memory_bound(self, suite17):
+        config = haswell_e5_2650l_v3()
+        cactu = suite17.get("507.cactuBSSN_r").profile(InputSize.REF)
+        params = solve_pipeline_params(cactu, config)
+        assert params.penalty_scale < 1.0
+        assert params.base_cpi == pytest.approx(
+            1.0 / config.pipeline.dispatch_width
+        )
+
+    def test_scaled_params_still_hit_target(self, suite17):
+        config = haswell_e5_2650l_v3()
+        cactu = suite17.get("507.cactuBSSN_r").profile(InputSize.REF)
+        params = solve_pipeline_params(cactu, config)
+        cpi = params.base_cpi + params.penalty_scale * expected_penalty_cpi(
+            cactu, config
+        )
+        assert cpi == pytest.approx(1.0 / cactu.target_ipc, rel=1e-6)
+
+    def test_base_cpi_never_below_dispatch_limit(self, suite17):
+        config = haswell_e5_2650l_v3()
+        floor = 1.0 / config.pipeline.dispatch_width
+        for pair in suite17.pairs(size=InputSize.REF):
+            assert solve_base_cpi(pair.profile, config) >= floor - 1e-12
+
+    def test_params_type(self, mcf_ref):
+        params = solve_pipeline_params(mcf_ref, haswell_e5_2650l_v3())
+        assert isinstance(params, PipelineParams)
+
+
+class TestEffectiveParallelism:
+    def test_rate_apps_near_serial(self, mcf_ref):
+        ep = effective_parallelism(mcf_ref, haswell_e5_2650l_v3())
+        assert 1.0 <= ep < 1.5
+
+    def test_speed_fp_apps_aggregate_many_cpus(self, suite17):
+        config = haswell_e5_2650l_v3()
+        bwaves = suite17.get("603.bwaves_s").profile(InputSize.REF)
+        ep = effective_parallelism(bwaves, config)
+        assert 4.0 < ep <= config.total_threads
+
+    def test_never_below_one(self, suite17):
+        config = haswell_e5_2650l_v3()
+        for pair in suite17.pairs(size=InputSize.REF):
+            assert effective_parallelism(pair.profile, config) >= 1.0

@@ -1,0 +1,61 @@
+"""Tests for the CPU2006 calibration data."""
+
+import pytest
+
+from repro.workloads.data2006 import CPU2006_RECORDS
+
+
+class TestStructure:
+    def test_29_applications(self):
+        assert len(CPU2006_RECORDS) == 29
+
+    def test_int_fp_split(self):
+        ints = [r for r in CPU2006_RECORDS if r.suite == "cpu06_int"]
+        fps = [r for r in CPU2006_RECORDS if r.suite == "cpu06_fp"]
+        assert len(ints) == 12
+        assert len(fps) == 17
+
+    def test_names_unique(self):
+        names = [r.name for r in CPU2006_RECORDS]
+        assert len(set(names)) == len(names)
+
+    def test_well_known_members_present(self):
+        names = {r.name for r in CPU2006_RECORDS}
+        for expected in ("429.mcf", "462.libquantum", "464.h264ref",
+                         "470.lbm", "483.xalancbmk", "410.bwaves"):
+            assert expected in names
+
+    def test_single_input_per_size(self):
+        for r in CPU2006_RECORDS:
+            assert r.inputs == (1, 1, 1), r.name
+
+    def test_all_single_threaded(self):
+        for r in CPU2006_RECORDS:
+            assert r.threads == 1, r.name
+
+
+class TestPlausibility:
+    def test_mix_under_unity(self):
+        for r in CPU2006_RECORDS:
+            assert r.loads_pct + r.stores_pct + r.branches_pct < 100, r.name
+
+    def test_rss_below_vsz(self):
+        for r in CPU2006_RECORDS:
+            assert r.rss_bytes <= r.vsz_bytes, r.name
+
+    def test_mcf_is_the_pathological_case(self):
+        mcf = next(r for r in CPU2006_RECORDS if r.name == "429.mcf")
+        assert mcf.ipc < 0.6
+        assert mcf.l2_miss_pct > 60
+
+    def test_suite_ipc_means_near_paper(self):
+        # Paper Table III: CPU06 int 1.762, fp 1.815.
+        ints = [r.ipc for r in CPU2006_RECORDS if r.suite == "cpu06_int"]
+        fps = [r.ipc for r in CPU2006_RECORDS if r.suite == "cpu06_fp"]
+        assert sum(ints) / len(ints) == pytest.approx(1.762, abs=0.12)
+        assert sum(fps) / len(fps) == pytest.approx(1.815, abs=0.12)
+
+    def test_footprints_below_one_gib_mostly(self):
+        # Paper Table V: CPU06 average RSS is ~0.38 GiB.
+        rss = [r.rss_bytes for r in CPU2006_RECORDS]
+        assert sum(rss) / len(rss) < 1.0 * 1024**3

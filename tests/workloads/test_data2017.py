@@ -1,0 +1,201 @@
+"""Tests for the CPU2017 calibration data: the paper's anchors must appear
+verbatim and the structure must match Section II."""
+
+import pytest
+
+from repro.workloads.data2017 import (
+    APP_RECORDS,
+    EXPECTED_PAIR_COUNTS,
+    RATE_ONLY,
+    SPEED_ONLY,
+    records_by_suite,
+)
+
+
+def record(name):
+    for r in APP_RECORDS:
+        if r.name == name:
+            return r
+    raise AssertionError("missing record %s" % name)
+
+
+class TestStructure:
+    def test_43_applications(self):
+        assert len(APP_RECORDS) == 43
+
+    def test_mini_suite_sizes_match_paper(self):
+        assert len(records_by_suite("rate_int")) == 10
+        assert len(records_by_suite("rate_fp")) == 13
+        assert len(records_by_suite("speed_int")) == 10
+        assert len(records_by_suite("speed_fp")) == 10
+
+    @pytest.mark.parametrize("size_idx,size_name", [(0, "test"), (1, "train"), (2, "ref")])
+    def test_pair_counts_match_paper(self, size_idx, size_name):
+        total = sum(r.inputs[size_idx] for r in APP_RECORDS)
+        assert total == EXPECTED_PAIR_COUNTS[size_name]
+
+    def test_rate_only_apps_have_no_speed_twin(self):
+        names = {r.name for r in APP_RECORDS}
+        for rate_name in RATE_ONLY:
+            number, app = rate_name.split(".", 1)
+            speed_twin = "%d.%s" % (int(number) + 100, app[:-2] + "_s")
+            assert speed_twin not in names
+
+    def test_speed_only_app(self):
+        assert SPEED_ONLY == ("628.pop2_s",)
+        names = {r.name for r in APP_RECORDS}
+        assert "528.pop2_r" not in names
+
+    def test_names_are_unique(self):
+        names = [r.name for r in APP_RECORDS]
+        assert len(names) == len(set(names))
+
+    def test_speed_fp_apps_are_multithreaded(self):
+        for r in records_by_suite("speed_fp"):
+            assert r.threads == 4, r.name
+
+    def test_xz_s_is_multithreaded(self):
+        # The paper: 657.xz_s (and speed-fp) have OpenMP threading.
+        assert record("657.xz_s").threads == 4
+
+
+class TestPaperAnchors:
+    """Every per-application number the paper states is reproduced
+    verbatim in the calibration table."""
+
+    def test_mcf_lowest_rate_int_ipc(self):
+        assert record("505.mcf_r").ipc == 0.886
+
+    def test_x264_highest_ipc(self):
+        assert record("525.x264_r").ipc == 3.024
+        assert record("625.x264_s").ipc == 3.038
+
+    def test_xz_ipc_pair(self):
+        assert record("557.xz_r").ipc == 1.741
+        assert record("657.xz_s").ipc == 0.903
+
+    def test_namd_and_pop2_highest_fp_ipc(self):
+        assert record("508.namd_r").ipc == 2.265
+        assert record("628.pop2_s").ipc == 1.642
+
+    def test_fotonik_and_lbm_lowest_fp_ipc(self):
+        assert record("549.fotonik3d_r").ipc == 1.117
+        assert record("619.lbm_s").ipc == 0.062
+
+    def test_mcf_highest_branch_percentage(self):
+        assert record("505.mcf_r").branches_pct == 31.277
+        assert record("605.mcf_s").branches_pct == 32.939
+
+    def test_lbm_lowest_branch_percentage(self):
+        assert record("519.lbm_r").branches_pct == 1.198
+        assert record("619.lbm_s").branches_pct == 3.646
+
+    def test_cactu_memory_uops(self):
+        cactu_r = record("507.cactuBSSN_r")
+        assert cactu_r.loads_pct == 39.786
+        assert cactu_r.loads_pct + cactu_r.stores_pct == pytest.approx(48.375)
+        cactu_s = record("607.cactuBSSN_s")
+        assert cactu_s.loads_pct == 33.536
+        assert cactu_s.loads_pct + cactu_s.stores_pct == pytest.approx(41.146)
+
+    def test_roms_s_lowest_memory_uops(self):
+        roms = record("654.roms_s")
+        assert roms.loads_pct == 11.504
+        assert roms.stores_pct == 0.895
+
+    def test_exchange2_highest_stores(self):
+        assert record("548.exchange2_r").stores_pct == 15.911
+        assert record("648.exchange2_s").stores_pct == 15.910
+
+    def test_lbm_highest_fp_stores(self):
+        assert record("519.lbm_r").stores_pct == 13.076
+        assert record("619.lbm_s").stores_pct == 13.480
+
+    def test_leela_highest_mispredicts(self):
+        assert record("541.leela_r").mispredict_pct == 8.656
+        assert record("641.leela_s").mispredict_pct == 8.636
+
+    def test_xalancbmk_and_mcf_l1(self):
+        assert record("523.xalancbmk_r").l1_miss_pct == 12.174
+        assert record("605.mcf_s").l1_miss_pct == 14.138
+
+    def test_cactu_l1(self):
+        assert record("507.cactuBSSN_r").l1_miss_pct == 19.485
+        assert record("607.cactuBSSN_s").l1_miss_pct == 14.584
+
+    def test_mcf_l2(self):
+        assert record("505.mcf_r").l2_miss_pct == 65.721
+        assert record("605.mcf_s").l2_miss_pct == 77.824
+
+    def test_deepsjeng_l3(self):
+        assert record("531.deepsjeng_r").l3_miss_pct == 67.516
+        assert record("631.deepsjeng_s").l3_miss_pct == 68.579
+
+    def test_fotonik_l2_l3(self):
+        fotonik_r = record("549.fotonik3d_r")
+        assert fotonik_r.l2_miss_pct == 71.609
+        assert fotonik_r.l3_miss_pct == 54.730
+        fotonik_s = record("649.fotonik3d_s")
+        assert fotonik_s.l2_miss_pct == 66.291
+        assert fotonik_s.l3_miss_pct == 41.369
+
+    def test_xz_s_largest_footprint(self):
+        xz = record("657.xz_s")
+        assert xz.rss_bytes == pytest.approx(12.385 * 1024**3)
+        assert xz.vsz_bytes == pytest.approx(15.422 * 1024**3)
+
+    def test_exchange2_r_smallest_footprint(self):
+        exchange = record("548.exchange2_r")
+        assert exchange.rss_bytes == pytest.approx(1.148 * 1024**2)
+        assert exchange.vsz_bytes == pytest.approx(15.160 * 1024**2)
+
+    def test_table9_cactu_instruction_count(self):
+        assert record("607.cactuBSSN_s").instr_e9 == 10616.666
+
+    def test_table9_bwaves_input_overrides(self):
+        overrides = record("603.bwaves_s").ref_input_overrides
+        assert overrides[0]["instr_e9"] == 48788.718
+        assert overrides[1]["instr_e9"] == 50116.477
+
+    def test_table10_anchor_times(self):
+        assert record("638.imagick_s").time_s == 486.279
+        assert record("644.nab_s").time_s == 332.640
+        assert record("628.pop2_s").time_s == 1619.982
+        assert record("621.wrf_s").time_s == 762.382
+
+    def test_collection_errors_match_paper(self):
+        assert record("627.cam4_s").collection_errors == ("test", "train", "ref")
+        assert record("500.perlbench_r").collection_errors == ("test",)
+        assert record("600.perlbench_s").collection_errors == ("test",)
+        others = [
+            r for r in APP_RECORDS
+            if r.collection_errors
+            and r.name not in ("627.cam4_s", "500.perlbench_r", "600.perlbench_s")
+        ]
+        assert others == []
+
+
+class TestPlausibility:
+    def test_every_mix_under_unity(self):
+        for r in APP_RECORDS:
+            assert r.loads_pct + r.stores_pct + r.branches_pct < 100, r.name
+
+    def test_rss_never_exceeds_vsz(self):
+        for r in APP_RECORDS:
+            assert r.rss_bytes <= r.vsz_bytes, r.name
+
+    def test_miss_rates_are_percentages(self):
+        for r in APP_RECORDS:
+            for value in (r.l1_miss_pct, r.l2_miss_pct, r.l3_miss_pct,
+                          r.mispredict_pct):
+                assert 0 <= value <= 100, r.name
+
+    def test_branch_mix_normalized(self):
+        for r in APP_RECORDS:
+            assert sum(r.bmix) == pytest.approx(1.0, abs=1e-6), r.name
+
+    def test_speed_fp_instructions_dominate(self):
+        # Paper: speed versions have far higher instruction counts.
+        speed_fp = [r.instr_e9 for r in records_by_suite("speed_fp")]
+        rate_fp = [r.instr_e9 for r in records_by_suite("rate_fp")]
+        assert sum(speed_fp) / len(speed_fp) > 3 * sum(rate_fp) / len(rate_fp)

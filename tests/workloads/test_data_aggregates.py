@@ -1,0 +1,95 @@
+"""Suite-level aggregate checks on the calibration data itself.
+
+The per-application values assigned where the paper is silent must still
+aggregate to the paper's suite-level numbers (Tables II-VII).  These tests
+pin the data tables directly, independent of the simulation pipeline.
+"""
+
+import pytest
+
+from repro.workloads.data2006 import CPU2006_RECORDS
+from repro.workloads.data2017 import APP_RECORDS, records_by_suite
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+class TestCpu2017Aggregates:
+    @pytest.mark.parametrize("suite,paper_ipc", [
+        ("rate_int", 1.724), ("rate_fp", 1.635),
+        ("speed_int", 1.635), ("speed_fp", 0.706),
+    ])
+    def test_mini_suite_ipc_means(self, suite, paper_ipc):
+        measured = mean(r.ipc for r in records_by_suite(suite))
+        assert measured == pytest.approx(paper_ipc, rel=0.02)
+
+    @pytest.mark.parametrize("suite,paper_instr", [
+        ("rate_int", 1751.5), ("rate_fp", 2291.1), ("speed_int", 2265.2),
+    ])
+    def test_mini_suite_instruction_means(self, suite, paper_instr):
+        measured = mean(r.instr_e9 for r in records_by_suite(suite))
+        assert measured == pytest.approx(paper_instr, rel=0.02)
+
+    def test_int_mix_near_paper(self):
+        ints = [r for r in APP_RECORDS
+                if r.suite in ("rate_int", "speed_int")]
+        assert mean(r.loads_pct for r in ints) == pytest.approx(24.39, abs=2.5)
+        assert mean(r.stores_pct for r in ints) == pytest.approx(10.34, abs=1.5)
+        assert mean(r.branches_pct for r in ints) == pytest.approx(18.74, abs=2.0)
+
+    def test_fp_mix_near_paper(self):
+        fps = [r for r in APP_RECORDS if r.suite in ("rate_fp", "speed_fp")]
+        assert mean(r.loads_pct for r in fps) == pytest.approx(26.19, abs=2.5)
+        assert mean(r.stores_pct for r in fps) == pytest.approx(7.14, abs=1.5)
+        assert mean(r.branches_pct for r in fps) == pytest.approx(11.11, abs=2.5)
+
+    def test_int_mispredicts_near_paper(self):
+        ints = [r for r in APP_RECORDS
+                if r.suite in ("rate_int", "speed_int")]
+        assert mean(r.mispredict_pct for r in ints) == pytest.approx(
+            3.31, abs=0.5)
+
+    def test_fp_mispredicts_near_paper(self):
+        fps = [r for r in APP_RECORDS if r.suite in ("rate_fp", "speed_fp")]
+        assert mean(r.mispredict_pct for r in fps) == pytest.approx(
+            1.19, abs=0.4)
+
+    def test_l2_means_near_paper(self):
+        ints = [r for r in APP_RECORDS
+                if r.suite in ("rate_int", "speed_int")]
+        fps = [r for r in APP_RECORDS if r.suite in ("rate_fp", "speed_fp")]
+        assert mean(r.l2_miss_pct for r in ints) == pytest.approx(38.6, abs=6)
+        assert mean(r.l2_miss_pct for r in fps) == pytest.approx(27.0, abs=6)
+
+    def test_speed_footprints_dominate_rate(self):
+        rate = [r for r in APP_RECORDS if r.suite.startswith("rate")]
+        speed = [r for r in APP_RECORDS if r.suite.startswith("speed")]
+        ratio = mean(r.rss_bytes for r in speed) / mean(
+            r.rss_bytes for r in rate
+        )
+        assert 5.0 < ratio < 12.0  # paper: 8.276x
+
+
+class TestCpu2006Aggregates:
+    def test_mix_near_paper(self):
+        ints = [r for r in CPU2006_RECORDS if r.suite == "cpu06_int"]
+        fps = [r for r in CPU2006_RECORDS if r.suite == "cpu06_fp"]
+        assert mean(r.loads_pct for r in ints) == pytest.approx(26.23, abs=2.5)
+        assert mean(r.stores_pct for r in ints) == pytest.approx(10.31, abs=1.5)
+        assert mean(r.branches_pct for r in ints) == pytest.approx(19.06, abs=2.0)
+        assert mean(r.loads_pct for r in fps) == pytest.approx(23.68, abs=3.5)
+        assert mean(r.stores_pct for r in fps) == pytest.approx(7.18, abs=1.5)
+        assert mean(r.branches_pct for r in fps) == pytest.approx(10.81, abs=3.0)
+
+    def test_cache_means_near_paper(self):
+        ints = [r for r in CPU2006_RECORDS if r.suite == "cpu06_int"]
+        fps = [r for r in CPU2006_RECORDS if r.suite == "cpu06_fp"]
+        assert mean(r.l1_miss_pct for r in ints) == pytest.approx(4.13, abs=1.0)
+        assert mean(r.l2_miss_pct for r in ints) == pytest.approx(40.85, abs=5)
+        assert mean(r.l2_miss_pct for r in fps) == pytest.approx(31.91, abs=5)
+
+    def test_footprints_stay_sub_gib_on_average(self):
+        # Paper Table V: CPU06 all RSS mean 0.376 GiB.
+        assert mean(r.rss_bytes for r in CPU2006_RECORDS) < 0.6 * 1024**3

@@ -1,0 +1,133 @@
+"""Edge-case tests for trace generation and simulation boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import haswell_e5_2650l_v3
+from repro.uarch.core import SimulatedCore
+from repro.workloads.generator import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_LOAD,
+    TraceGenerator,
+)
+from repro.workloads.profile import (
+    BranchBehavior,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+
+CONFIG = haswell_e5_2650l_v3()
+GENERATOR = TraceGenerator(CONFIG)
+CORE = SimulatedCore(CONFIG)
+
+
+def edge_profile(loads=0.2, stores=0.05, branches=0.1,
+                 m1=0.05, m2=0.3, m3=0.2, misp=0.02):
+    return WorkloadProfile(
+        benchmark="998.edge",
+        input_name="",
+        suite=MiniSuite.RATE_INT,
+        input_size=InputSize.REF,
+        instructions=1e11,
+        target_ipc=1.0,
+        exec_time_seconds=100.0,
+        mix=InstructionMix(loads, stores, branches),
+        memory=MemoryBehavior(m1, m2, m3, 1e8, 1.5e8),
+        branches=BranchBehavior(misp),
+    )
+
+
+class TestZeroFractions:
+    def test_zero_branches(self):
+        profile = edge_profile(branches=0.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        assert trace.n_branches == 0
+        result = CORE.run(trace)
+        assert result.mispredict_rate == 0.0
+        assert result.ipc > 0
+
+    def test_zero_stores(self):
+        profile = edge_profile(stores=0.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        assert trace.n_stores == 0
+        assert CORE.run(trace).ipc > 0
+
+    def test_alu_only_profile(self):
+        profile = edge_profile(loads=0.001, stores=0.0, branches=0.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        assert trace.count(KIND_ALU) > 4900
+        result = CORE.run(trace)
+        assert result.ipc == pytest.approx(1.0, rel=0.1)
+
+
+class TestMissRateExtremes:
+    def test_perfect_l1(self):
+        profile = edge_profile(m1=0.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        result = CORE.run(trace)
+        assert result.load_miss_rates[0] == 0.0
+
+    def test_total_l1_miss(self):
+        profile = edge_profile(m1=1.0, m2=1.0, m3=1.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        result = CORE.run(trace)
+        m1, m2, m3 = result.load_miss_rates
+        assert m1 > 0.99
+        assert m2 > 0.99
+        assert m3 > 0.99
+
+    def test_l3_resident_only(self):
+        profile = edge_profile(m1=1.0, m2=1.0, m3=0.0)
+        trace = GENERATOR.generate(profile, n_ops=5000)
+        result = CORE.run(trace)
+        m1, m2, m3 = result.load_miss_rates
+        assert m1 > 0.99
+        assert m3 < 0.01
+
+
+class TestTinyTraces:
+    def test_single_op_trace(self):
+        trace = GENERATOR.generate(edge_profile(), n_ops=1)
+        assert trace.n_ops == 1
+
+    def test_tiny_trace_simulates(self):
+        trace = GENERATOR.generate(edge_profile(), n_ops=50)
+        result = CORE.run(trace)
+        assert result.trace_ops == 50
+        assert result.ipc > 0
+
+
+class TestExtremeMispredicts:
+    def test_fifty_percent_target(self):
+        profile = edge_profile(misp=0.39)  # near the conditional-share cap
+        trace = GENERATOR.generate(profile, n_ops=20_000)
+        result = CORE.run(trace)
+        assert result.mispredict_rate > 0.25
+
+    def test_zero_target(self):
+        profile = edge_profile(misp=0.0)
+        trace = GENERATOR.generate(profile, n_ops=20_000)
+        result = CORE.run(trace)
+        assert result.mispredict_rate < 0.01
+
+
+class TestTraceInternals:
+    def test_loads_receive_exact_region_mix(self):
+        profile = edge_profile(m1=0.2, m2=0.5, m3=0.5)
+        trace = GENERATOR.generate(profile, n_ops=20_000)
+        loads = trace.kind == KIND_LOAD
+        load_regions = trace.region[loads]
+        l1_missers = np.count_nonzero(load_regions > 0)
+        assert l1_missers / loads.sum() == pytest.approx(0.2, abs=0.01)
+
+    def test_branch_direction_mix(self):
+        profile = edge_profile(branches=0.2, misp=0.02)
+        trace = GENERATOR.generate(profile, n_ops=20_000)
+        branches = trace.kind == KIND_BRANCH
+        taken_share = trace.taken[branches].mean()
+        # Unconditionals all taken; easy conditionals split by site parity.
+        assert 0.4 < taken_share < 0.9

@@ -1,0 +1,151 @@
+"""Tests for workload profile dataclasses."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profile import (
+    BranchBehavior,
+    BranchMix,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        benchmark="505.mcf_r",
+        input_name="",
+        suite=MiniSuite.RATE_INT,
+        input_size=InputSize.REF,
+        instructions=1e12,
+        target_ipc=0.886,
+        exec_time_seconds=627.0,
+        mix=InstructionMix(0.25, 0.08, 0.31),
+        memory=MemoryBehavior(0.095, 0.65, 0.3, 5e8, 6e8),
+        branches=BranchBehavior(0.055),
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestBranchMix:
+    def test_default_sums_to_one(self):
+        assert BranchMix().total == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(WorkloadError):
+            BranchMix(conditional=0.5, direct_jump=0.1, direct_call=0.1,
+                      indirect_jump=0.1, indirect_return=0.1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            BranchMix(conditional=1.2, direct_jump=-0.2, direct_call=0.0,
+                      indirect_jump=0.0, indirect_return=0.0)
+
+    def test_as_tuple_order(self):
+        mix = BranchMix()
+        assert mix.as_tuple() == (
+            mix.conditional, mix.direct_jump, mix.direct_call,
+            mix.indirect_jump, mix.indirect_return,
+        )
+
+
+class TestInstructionMix:
+    def test_alu_is_remainder(self):
+        mix = InstructionMix(0.25, 0.10, 0.15)
+        assert mix.alu_fraction == pytest.approx(0.50)
+        assert mix.memory_fraction == pytest.approx(0.35)
+
+    def test_rejects_over_unity(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix(0.5, 0.4, 0.2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix(-0.1, 0.1, 0.1)
+
+
+class TestMemoryBehavior:
+    def test_rejects_rss_above_vsz(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(0.1, 0.1, 0.1, rss_bytes=100, vsz_bytes=50)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(1.5, 0.1, 0.1, 10, 20)
+
+    def test_accepts_equal_rss_vsz(self):
+        behavior = MemoryBehavior(0.1, 0.1, 0.1, 100, 100)
+        assert behavior.rss_bytes == behavior.vsz_bytes
+
+
+class TestBranchBehavior:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(WorkloadError):
+            BranchBehavior(target_mispredict_rate=1.5)
+
+    def test_default_bias(self):
+        assert 0.5 < BranchBehavior(0.02).taken_bias <= 1.0
+
+
+class TestMiniSuite:
+    def test_int_fp_partition(self):
+        for suite in MiniSuite:
+            assert suite.is_integer != suite.is_floating_point
+
+    def test_rate_speed(self):
+        assert MiniSuite.RATE_INT.is_rate
+        assert MiniSuite.SPEED_FP.is_speed
+        assert not MiniSuite.CPU06_INT.is_rate
+        assert not MiniSuite.CPU06_INT.is_speed
+
+    def test_cpu2006_flags(self):
+        assert MiniSuite.CPU06_FP.is_cpu2006
+        assert not MiniSuite.RATE_FP.is_cpu2006
+
+
+class TestWorkloadProfile:
+    def test_pair_name_single_input(self):
+        assert make_profile().pair_name == "505.mcf_r/ref"
+
+    def test_pair_name_multi_input(self):
+        profile = make_profile(input_name="in2")
+        assert profile.pair_name == "505.mcf_r-in2/ref"
+        assert profile.short_name == "505.mcf_r-in2"
+
+    def test_number(self):
+        assert make_profile().number == 505
+
+    def test_seed_is_deterministic(self):
+        assert make_profile().seed() == make_profile().seed()
+
+    def test_seed_varies_by_pair(self):
+        assert make_profile().seed() != make_profile(input_name="in2").seed()
+
+    def test_seed_varies_by_salt(self):
+        profile = make_profile()
+        assert profile.seed("a") != profile.seed("b")
+
+    def test_with_input_size(self):
+        test = make_profile().with_input_size(InputSize.TEST)
+        assert test.input_size is InputSize.TEST
+        assert test.benchmark == "505.mcf_r"
+
+    def test_rejects_nonpositive_instructions(self):
+        with pytest.raises(WorkloadError):
+            make_profile(instructions=0)
+
+    def test_rejects_nonpositive_ipc(self):
+        with pytest.raises(WorkloadError):
+            make_profile(target_ipc=0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(WorkloadError):
+            make_profile(exec_time_seconds=0)
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(WorkloadError):
+            make_profile(threads=0)

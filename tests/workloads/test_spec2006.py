@@ -1,0 +1,43 @@
+"""Tests for the CPU2006 registry builder."""
+
+import pytest
+
+from repro.workloads.profile import InputSize, MiniSuite
+from repro.workloads.spec2006 import cpu2006
+
+
+class TestRegistry:
+    def test_29_benchmarks(self, suite06):
+        assert len(suite06) == 29
+
+    def test_split(self, suite06):
+        assert len(list(suite06.mini_suite(MiniSuite.CPU06_INT))) == 12
+        assert len(list(suite06.mini_suite(MiniSuite.CPU06_FP))) == 17
+
+    def test_cached(self):
+        assert cpu2006() is cpu2006()
+
+    def test_one_pair_per_size(self, suite06):
+        for size in InputSize:
+            assert suite06.pair_count(size) == 29
+
+    def test_no_collection_errors(self, suite06):
+        assert all(not p.profile.collection_error for p in suite06.pairs())
+
+
+class TestProfiles:
+    def test_mcf_anchor(self, suite06):
+        mcf = suite06.get("429.mcf").profile(InputSize.REF)
+        assert mcf.target_ipc == pytest.approx(0.40)
+        assert mcf.memory.target_l2_miss_rate == pytest.approx(0.72)
+
+    def test_sizes_scale(self, suite06):
+        gcc = suite06.get("403.gcc")
+        test = gcc.profile(InputSize.TEST)
+        ref = gcc.profile(InputSize.REF)
+        assert test.instructions < ref.instructions
+        assert test.memory.rss_bytes < ref.memory.rss_bytes
+
+    def test_rss_below_vsz_everywhere(self, suite06):
+        for pair in suite06.pairs():
+            assert pair.profile.memory.rss_bytes <= pair.profile.memory.vsz_bytes

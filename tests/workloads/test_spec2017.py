@@ -1,0 +1,149 @@
+"""Tests for the CPU2017 registry builder."""
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError, WorkloadError
+from repro.workloads.data2017 import APP_RECORDS
+from repro.workloads.profile import InputSize, MiniSuite
+from repro.workloads.spec2017 import cpu2017, profile_from_record
+
+
+def record(name):
+    return next(r for r in APP_RECORDS if r.name == name)
+
+
+class TestRegistry:
+    def test_43_benchmarks(self, suite17):
+        assert len(suite17) == 43
+
+    @pytest.mark.parametrize("size,count", [
+        (InputSize.TEST, 69), (InputSize.TRAIN, 61), (InputSize.REF, 64),
+    ])
+    def test_pair_counts(self, suite17, size, count):
+        assert suite17.pair_count(size) == count
+
+    def test_total_pairs_194(self, suite17):
+        assert suite17.pair_count() == 194
+
+    def test_collection_error_pairs(self, suite17):
+        errors = [
+            p.pair_name for p in suite17.pairs() if p.profile.collection_error
+        ]
+        assert sorted(errors) == [
+            "500.perlbench_r-in1/test",
+            "600.perlbench_s-in1/test",
+            "627.cam4_s/ref",
+            "627.cam4_s/test",
+            "627.cam4_s/train",
+        ]
+
+    def test_exclude_error_pairs(self, suite17):
+        kept = suite17.pairs(include_errors=False)
+        assert len(kept) == 194 - 5
+
+    def test_mini_suite_counts(self, suite17):
+        assert len(list(suite17.mini_suite(MiniSuite.RATE_INT))) == 10
+        assert len(list(suite17.mini_suite(MiniSuite.RATE_FP))) == 13
+        assert len(list(suite17.mini_suite(MiniSuite.SPEED_INT))) == 10
+        assert len(list(suite17.mini_suite(MiniSuite.SPEED_FP))) == 10
+
+    def test_construction_is_cached(self):
+        assert cpu2017() is cpu2017()
+
+    def test_benchmarks_sorted_by_number(self, suite17):
+        numbers = [b.number for b in suite17]
+        assert numbers == sorted(numbers)
+
+
+class TestProfileExpansion:
+    def test_ref_anchor_passthrough(self, suite17):
+        mcf = suite17.get("505.mcf_r").profile(InputSize.REF)
+        assert mcf.target_ipc == 0.886
+        assert mcf.instructions == pytest.approx(1000e9)
+        assert mcf.mix.branch_fraction == pytest.approx(0.31277)
+
+    def test_table9_overrides_apply(self, suite17):
+        bwaves = suite17.get("603.bwaves_s")
+        in1 = bwaves.profile(InputSize.REF, 0)
+        in2 = bwaves.profile(InputSize.REF, 1)
+        assert in1.instructions == pytest.approx(48788.718e9)
+        assert in2.instructions == pytest.approx(50116.477e9)
+        assert in1.mix.load_fraction == pytest.approx(0.27545)
+        assert in2.memory.rss_bytes == pytest.approx(11.750 * 1024**3)
+
+    def test_test_size_scales_down(self, suite17):
+        gcc = suite17.get("502.gcc_r")
+        ref = gcc.profile(InputSize.REF)
+        test = gcc.profile(InputSize.TEST)
+        assert test.instructions < 0.1 * ref.instructions
+        assert test.memory.rss_bytes < ref.memory.rss_bytes
+        assert test.exec_time_seconds < ref.exec_time_seconds
+
+    def test_train_between_test_and_ref(self, suite17):
+        xz = suite17.get("557.xz_r")
+        sizes = [
+            xz.profile(size).instructions
+            for size in (InputSize.TEST, InputSize.TRAIN, InputSize.REF)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_multi_input_jitter_is_deterministic(self):
+        gcc = record("502.gcc_r")
+        a = profile_from_record(gcc, InputSize.REF, 2)
+        b = profile_from_record(gcc, InputSize.REF, 2)
+        assert a == b
+
+    def test_multi_input_jitter_differs_between_inputs(self):
+        gcc = record("502.gcc_r")
+        profiles = [profile_from_record(gcc, InputSize.REF, i) for i in range(5)]
+        counts = {p.instructions for p in profiles}
+        assert len(counts) == 5
+
+    def test_jitter_is_bounded(self):
+        gcc = record("502.gcc_r")
+        base = profile_from_record(gcc, InputSize.REF, 0)
+        for i in range(1, 5):
+            other = profile_from_record(gcc, InputSize.REF, i)
+            assert abs(other.instructions / base.instructions - 1) < 0.10
+
+    def test_invalid_input_index_rejected(self):
+        with pytest.raises(WorkloadError):
+            profile_from_record(record("505.mcf_r"), InputSize.REF, 1)
+
+    def test_rss_stays_below_vsz_in_all_pairs(self, suite17):
+        for pair in suite17.pairs():
+            memory = pair.profile.memory
+            assert memory.rss_bytes <= memory.vsz_bytes, pair.pair_name
+
+    def test_branch_mix_jitter_varies_by_app_but_not_size(self, suite17):
+        lbm_r = suite17.get("519.lbm_r")
+        lbm_ref = lbm_r.profile(InputSize.REF).mix.branch_mix
+        lbm_test = lbm_r.profile(InputSize.TEST).mix.branch_mix
+        assert lbm_ref == lbm_test
+        roms = suite17.get("554.roms_r").profile(InputSize.REF).mix.branch_mix
+        assert roms != lbm_ref
+
+
+class TestLookups:
+    def test_get_by_full_name(self, suite17):
+        assert suite17.get("541.leela_r").name == "541.leela_r"
+
+    def test_get_by_suffix(self, suite17):
+        assert suite17.get("leela_r").name == "541.leela_r"
+
+    def test_get_unknown_suggests(self, suite17):
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            suite17.get("541.leela")
+        assert excinfo.value.candidates
+
+    def test_find_pair(self, suite17):
+        pair = suite17.find_pair("603.bwaves_s-in1/ref")
+        assert pair.profile.input_name == "in1"
+
+    def test_find_pair_defaults_to_ref(self, suite17):
+        pair = suite17.find_pair("505.mcf_r")
+        assert pair.profile.input_size is InputSize.REF
+
+    def test_find_pair_unknown(self, suite17):
+        with pytest.raises(UnknownBenchmarkError):
+            suite17.find_pair("999.nothing/ref")

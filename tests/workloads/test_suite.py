@@ -1,0 +1,105 @@
+"""Tests for the Benchmark/BenchmarkSuite registry objects."""
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError, WorkloadError
+from repro.workloads.profile import (
+    BranchBehavior,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+from repro.workloads.suite import Benchmark, BenchmarkSuite
+
+
+def make_profile(benchmark="901.toy_r", size=InputSize.REF, input_name=""):
+    return WorkloadProfile(
+        benchmark=benchmark,
+        input_name=input_name,
+        suite=MiniSuite.RATE_INT,
+        input_size=size,
+        instructions=1e9,
+        target_ipc=1.0,
+        exec_time_seconds=1.0,
+        mix=InstructionMix(0.2, 0.1, 0.1),
+        memory=MemoryBehavior(0.05, 0.3, 0.2, 1e6, 2e6),
+        branches=BranchBehavior(0.02),
+    )
+
+
+def make_benchmark(name="901.toy_r"):
+    return Benchmark(
+        name=name,
+        suite=MiniSuite.RATE_INT,
+        language="C",
+        profiles={InputSize.REF: (make_profile(name),)},
+    )
+
+
+class TestBenchmark:
+    def test_basic_properties(self):
+        bench = make_benchmark()
+        assert bench.number == 901
+        assert bench.input_count(InputSize.REF) == 1
+        assert bench.inputs(InputSize.TEST) == ()
+
+    def test_profile_lookup(self):
+        bench = make_benchmark()
+        assert bench.profile(InputSize.REF).benchmark == "901.toy_r"
+
+    def test_profile_missing_size(self):
+        with pytest.raises(UnknownBenchmarkError):
+            make_benchmark().profile(InputSize.TEST)
+
+    def test_profile_bad_index(self):
+        with pytest.raises(UnknownBenchmarkError):
+            make_benchmark().profile(InputSize.REF, 3)
+
+    def test_rejects_empty_profiles(self):
+        with pytest.raises(WorkloadError):
+            Benchmark("901.toy_r", MiniSuite.RATE_INT, "C", {})
+
+    def test_rejects_mismatched_benchmark_name(self):
+        with pytest.raises(WorkloadError):
+            Benchmark(
+                "902.other_r", MiniSuite.RATE_INT, "C",
+                {InputSize.REF: (make_profile("901.toy_r"),)},
+            )
+
+    def test_rejects_profile_under_wrong_size(self):
+        with pytest.raises(WorkloadError):
+            Benchmark(
+                "901.toy_r", MiniSuite.RATE_INT, "C",
+                {InputSize.TEST: (make_profile("901.toy_r", InputSize.REF),)},
+            )
+
+
+class TestBenchmarkSuite:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkSuite("dup", [make_benchmark(), make_benchmark()])
+
+    def test_contains_and_iter(self):
+        suite = BenchmarkSuite("one", [make_benchmark()])
+        assert "901.toy_r" in suite
+        assert len(suite) == 1
+        assert [b.name for b in suite] == ["901.toy_r"]
+
+    def test_pairs_filter_by_size(self, suite17):
+        test_pairs = suite17.pairs(size=InputSize.TEST)
+        assert all(p.profile.input_size is InputSize.TEST for p in test_pairs)
+
+    def test_pairs_filter_by_suite(self, suite17):
+        fp = suite17.pairs(suite=MiniSuite.RATE_FP)
+        assert all(p.benchmark.suite is MiniSuite.RATE_FP for p in fp)
+
+    def test_appinput_names(self, suite17):
+        pair = suite17.find_pair("505.mcf_r/ref")
+        assert pair.pair_name == "505.mcf_r/ref"
+        assert pair.short_name == "505.mcf_r"
+
+    def test_mini_suite_registry_name(self, suite17):
+        sub = suite17.mini_suite(MiniSuite.SPEED_FP)
+        assert "speed_fp" in sub.name
