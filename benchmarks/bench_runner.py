@@ -1,0 +1,76 @@
+"""Bench: the SuiteRunner acceptance sweep (issue 1 criteria).
+
+Characterizes all ref-size CPU2017 pairs twice through
+:class:`~repro.runner.SuiteRunner` against a fresh cache directory and
+checks the headline guarantees:
+
+* the second sweep is served >= 95% from the on-disk cache,
+* the cached sweep is >= 2x faster wall-clock than the serial uncached
+  baseline,
+* cached counter values are bitwise identical to the fresh run,
+* a pair that raises mid-sweep (the paper's 627.cam4_s collection
+  failure, surfaced in strict mode) lands in the manifest as a failure
+  without aborting the other pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runner import SuiteRunner
+from repro.workloads.profile import InputSize
+from repro.workloads.spec2017 import cpu2017
+
+SAMPLE_OPS = 8_000
+
+
+@pytest.fixture(scope="module")
+def ref_pairs():
+    return cpu2017().pairs(size=InputSize.REF)
+
+
+def _timed(callable_):
+    started = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - started
+
+
+def test_cached_sweep_beats_serial_baseline(ref_pairs, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("runner-cache")
+
+    baseline = SuiteRunner(sample_ops=SAMPLE_OPS, workers=1, use_cache=False)
+    fresh, serial_seconds = _timed(lambda: baseline.run(ref_pairs))
+    assert fresh.ok and len(fresh.reports) == len(ref_pairs)
+
+    first = SuiteRunner(sample_ops=SAMPLE_OPS, cache_dir=cache_dir)
+    warmup, _ = _timed(lambda: first.run(ref_pairs))
+    assert warmup.manifest.cache_misses == len(ref_pairs)
+
+    second = SuiteRunner(sample_ops=SAMPLE_OPS, cache_dir=cache_dir)
+    cached, cached_seconds = _timed(lambda: second.run(ref_pairs))
+
+    assert cached.manifest.cache_hits >= 0.95 * len(ref_pairs)
+    assert cached_seconds * 2 <= serial_seconds, (
+        "cached sweep %.3fs not 2x faster than serial %.3fs"
+        % (cached_seconds, serial_seconds)
+    )
+    # Determinism: a cache hit is bitwise identical to a fresh run.
+    for name, report in fresh.reports.items():
+        assert dict(report) == dict(cached.reports[name]), name
+
+
+def test_failing_pair_does_not_abort_sweep(ref_pairs):
+    runner = SuiteRunner(sample_ops=SAMPLE_OPS, workers=1, use_cache=False)
+    result = runner.run(ref_pairs, strict_errors=True)
+
+    failed = {failure.pair_name for failure in result.failures}
+    assert failed == {"627.cam4_s/ref"}
+    assert result.manifest.failure_count == 1
+    assert len(result.reports) == len(ref_pairs) - 1
+    failure_record = next(
+        record for record in result.manifest.records if record.failed
+    )
+    assert failure_record.pair_name == "627.cam4_s/ref"
+    assert failure_record.error == "CollectionError"

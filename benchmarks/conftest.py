@@ -1,27 +1,35 @@
 """Shared state for the benchmark harness.
 
-The experiment context is session-scoped and pre-warmed: the first
-benchmark pays for the 194-pair characterization pass, after which each
-bench measures its own analysis stage (aggregation, comparison, PCA,
+The experiment context is session-scoped and pre-warmed through the
+:class:`~repro.runner.SuiteRunner`: the first benchmark pays for the
+194-pair characterization pass (parallel across workers, served from the
+on-disk result cache on repeat invocations), after which each bench
+measures its own analysis stage (aggregation, comparison, PCA,
 clustering, subsetting) against memoized counter reports — mirroring how
 the paper's scripts consume one set of measurements.
+
+Set ``REPRO_CACHE_DIR`` to relocate the cache, or delete it to force a
+cold characterization pass.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.perf.session import PerfSession
 from repro.reports.experiments import ExperimentContext
+from repro.runner import SuiteRunner
 
 BENCH_SAMPLE_OPS = 30_000
 
 
 @pytest.fixture(scope="session")
-def ctx():
-    context = ExperimentContext(
-        session=PerfSession(sample_ops=BENCH_SAMPLE_OPS)
-    )
+def runner():
+    return SuiteRunner(sample_ops=BENCH_SAMPLE_OPS)
+
+
+@pytest.fixture(scope="session")
+def ctx(runner):
+    context = ExperimentContext(runner=runner)
     # Pre-warm the characterization pass so benchmarks measure analysis.
     context.all_metrics17()
     context.app_means17()

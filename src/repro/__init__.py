@@ -37,6 +37,13 @@ from .errors import (
     WorkloadError,
 )
 from .perf import CounterReport, PerfSession
+from .runner import (
+    PairFailure,
+    ResultCache,
+    RunManifest,
+    SuiteRunner,
+    SuiteRunResult,
+)
 from .workloads import (
     BenchmarkSuite,
     InputSize,
@@ -60,10 +67,15 @@ __all__ = [
     "ExperimentError",
     "InputSize",
     "MiniSuite",
+    "PairFailure",
     "PerfSession",
     "PipelineConfig",
     "ReproError",
+    "ResultCache",
+    "RunManifest",
     "SimulationError",
+    "SuiteRunResult",
+    "SuiteRunner",
     "SystemConfig",
     "UnknownBenchmarkError",
     "WorkloadError",

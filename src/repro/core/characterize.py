@@ -7,14 +7,17 @@ the same 194-pair characterization share a single simulation pass.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..errors import CollectionError
+from ..errors import CollectionError, SimulationError
 from ..perf.report import CounterReport
 from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
 from ..workloads.profile import InputSize, MiniSuite, WorkloadProfile
 from ..workloads.suite import BenchmarkSuite
 from .metrics import PairMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runner import SuiteRunner
 
 
 class Characterizer:
@@ -25,14 +28,30 @@ class Characterizer:
         strict_errors: Propagate the paper's five collection failures as
             :class:`~repro.errors.CollectionError` instead of collecting
             model counters for those pairs.
+        runner: Optional :class:`~repro.runner.SuiteRunner`; bulk
+            characterization then goes through its process pool and
+            on-disk cache instead of the serial in-process session.
     """
 
     def __init__(
         self,
         session: Optional[PerfSession] = None,
         strict_errors: bool = False,
+        runner: Optional["SuiteRunner"] = None,
     ):
+        if session is None and runner is not None:
+            session = runner.make_session()
         self.session = session or PerfSession(sample_ops=DEFAULT_SAMPLE_OPS)
+        if runner is not None and (
+            runner.config != self.session.config
+            or runner.sample_ops != self.session.sample_ops
+            or runner.warmup_fraction != self.session.warmup_fraction
+        ):
+            raise SimulationError(
+                "runner and session disagree on collection parameters; "
+                "their counters would be inconsistent"
+            )
+        self.runner = runner
         self.strict_errors = strict_errors
         self._reports: Dict[str, CounterReport] = {}
         self._failures: Dict[str, CollectionError] = {}
@@ -77,14 +96,52 @@ class Characterizer:
             skip_failures: In strict mode, drop failing pairs (mirroring
                 the paper) instead of raising.
         """
+        pairs = suite.pairs(size=size, suite=mini_suite)
+        if self.runner is not None:
+            self._bulk_collect([pair.profile for pair in pairs])
         results: List[PairMetrics] = []
-        for pair in suite.pairs(size=size, suite=mini_suite):
+        for pair in pairs:
             try:
                 results.append(self.metrics(pair.profile))
             except CollectionError:
                 if not skip_failures:
                     raise
         return results
+
+    def _bulk_collect(self, profiles: List[WorkloadProfile]) -> None:
+        """Characterize not-yet-memoized profiles through the runner."""
+        missing = [
+            profile
+            for profile in profiles
+            if profile.pair_name not in self._reports
+            and profile.pair_name not in self._failures
+        ]
+        if not missing:
+            return
+        run = self.runner.run(missing, strict_errors=self.strict_errors)
+        self._reports.update(run.reports)
+        hard = []
+        for failure in run.failures:
+            if failure.error_type == "CollectionError":
+                self._failures[failure.pair_name] = CollectionError(
+                    failure.pair_name, failure.message
+                )
+            else:
+                hard.append(failure)
+        if hard:
+            # Anything other than a modeled collection failure means the
+            # simulation itself broke; surface it instead of silently
+            # dropping pairs from the characterization.
+            raise SimulationError(
+                "suite run failed for %d pair(s): %s"
+                % (
+                    len(hard),
+                    "; ".join(
+                        "%s (%s: %s)" % (f.pair_name, f.error_type, f.message)
+                        for f in hard[:3]
+                    ),
+                )
+            )
 
     def benchmark_means(
         self,

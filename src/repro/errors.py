@@ -21,15 +21,22 @@ class WorkloadError(ReproError):
 
 
 class UnknownBenchmarkError(WorkloadError):
-    """A benchmark, input, or suite name does not exist in the registry."""
+    """A benchmark, input, or suite name does not exist in the registry
+    (or matches more than one entry)."""
 
-    def __init__(self, name: str, candidates: tuple = ()):
+    def __init__(self, name: str, candidates: tuple = (), reason: str = ""):
         self.name = name
         self.candidates = tuple(candidates)
+        self.reason = reason or "unknown benchmark or input"
         hint = ""
         if self.candidates:
             hint = " (did you mean: %s?)" % ", ".join(self.candidates)
-        super().__init__("unknown benchmark or input: %r%s" % (name, hint))
+        super().__init__("%s: %r%s" % (self.reason, name, hint))
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay only the formatted message,
+        # which breaks unpickling across process-pool boundaries.
+        return (type(self), (self.name, self.candidates, self.reason))
 
 
 class SimulationError(ReproError):
@@ -51,6 +58,11 @@ class CollectionError(ReproError):
         self.pair_name = pair_name
         self.reason = reason
         super().__init__("counter collection failed for %s: %s" % (pair_name, reason))
+
+    def __reduce__(self):
+        # Keep the two-argument constructor signature picklable so the
+        # error survives a round trip through a worker process.
+        return (type(self), (self.pair_name, self.reason))
 
 
 class AnalysisError(ReproError):

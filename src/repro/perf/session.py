@@ -37,6 +37,13 @@ class PerfSession:
     ):
         if sample_ops <= 0:
             raise SimulationError("sample_ops must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            # warmup >= 1 would leave an empty (or negative) measurement
+            # window, turning every downstream rate into NaN or a
+            # divide-by-zero; fail loudly instead.
+            raise SimulationError(
+                "warmup_fraction must be in [0, 1), got %r" % (warmup_fraction,)
+            )
         self.config = config or haswell_e5_2650l_v3()
         self.sample_ops = sample_ops
         self.warmup_fraction = warmup_fraction

@@ -15,8 +15,9 @@ import sys
 from typing import List, Optional
 
 from .. import __version__
-from ..errors import ReproError
-from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
+from ..errors import ReproError, SimulationError
+from ..perf.session import DEFAULT_SAMPLE_OPS
+from ..runner import SuiteRunner
 from ..workloads.profile import InputSize
 from ..workloads.spec2017 import cpu2017
 from .experiments import (
@@ -39,6 +40,26 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SAMPLE_OPS,
         help="simulated micro-ops per pair (default %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for characterization sweeps "
+             "(default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (read and write)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -76,13 +97,23 @@ def _cmd_list() -> int:
     return 0
 
 
+def _make_runner(args, workers: Optional[int] = None) -> SuiteRunner:
+    return SuiteRunner(
+        sample_ops=args.sample_ops,
+        workers=workers if workers is not None else args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
 def _cmd_run(args) -> int:
     from .export import export_result
 
     wanted: List[str] = args.experiments
     if wanted == ["all"]:
         wanted = list(EXPERIMENT_IDS)
-    ctx = ExperimentContext(session=PerfSession(sample_ops=args.sample_ops))
+    runner = _make_runner(args)
+    ctx = ExperimentContext(runner=runner)
     for exp_id in wanted:
         result = run_experiment(exp_id, ctx)
         print(result)
@@ -91,6 +122,11 @@ def _cmd_run(args) -> int:
             for path in export_result(result, args.output):
                 print("wrote %s" % path)
             print()
+    print(
+        "suite runner: %d pairs cached, %d simulated (%d workers)"
+        % (runner.total_cache_hits, runner.total_cache_misses, runner.workers),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -98,8 +134,14 @@ def _cmd_pair(args) -> int:
     suite = cpu2017()
     benchmark = suite.get(args.name)
     profile = benchmark.profile(InputSize(args.size), args.input)
-    session = PerfSession(sample_ops=args.sample_ops)
-    report = session.run(profile)
+    result = _make_runner(args, workers=1).run([profile])
+    if result.failures:
+        failure = result.failures[0]
+        raise SimulationError(
+            "%s failed after %d attempt(s): %s"
+            % (failure.pair_name, failure.attempts, failure.message)
+        )
+    report = result.report(profile.pair_name)
     print("pair: %s" % profile.pair_name)
     print("  IPC               %.3f" % report.ipc)
     print("  loads / stores    %.2f%% / %.2f%%" % (report.load_pct, report.store_pct))

@@ -20,6 +20,7 @@ from ..core.metrics import PairMetrics
 from ..core.subset import SubsetResult, SubsetSelector
 from ..errors import ExperimentError
 from ..perf.session import PerfSession
+from ..runner import SuiteRunner
 from ..stats.factor import factor_loadings
 from ..workloads.profile import InputSize, MiniSuite
 from ..workloads.spec2006 import cpu2006
@@ -50,11 +51,18 @@ class ExperimentContext:
 
     Builds the characterizer, both suite registries, and the subset
     selector exactly once, so running all twenty experiments costs a single
-    194-pair characterization pass.
+    194-pair characterization pass.  Passing a
+    :class:`~repro.runner.SuiteRunner` routes that pass through its
+    process pool and on-disk result cache.
     """
 
-    def __init__(self, session: Optional[PerfSession] = None):
-        self.characterizer = Characterizer(session=session)
+    def __init__(
+        self,
+        session: Optional[PerfSession] = None,
+        runner: Optional["SuiteRunner"] = None,
+    ):
+        self.runner = runner
+        self.characterizer = Characterizer(session=session, runner=runner)
         self.selector = SubsetSelector(self.characterizer)
         self.suite17 = cpu2017()
         self.suite06 = cpu2006()

@@ -1,0 +1,40 @@
+"""Suite runner: parallel, cached characterization of pair sweeps.
+
+Quickstart::
+
+    from repro.runner import SuiteRunner
+    from repro.workloads.spec2017 import cpu2017
+
+    runner = SuiteRunner(workers=4)
+    result = runner.characterize(cpu2017())     # all ref-size pairs
+    print(result.manifest.summary())
+    report = result.report("505.mcf_r/ref")
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA,
+    ResultCache,
+    content_hash,
+    default_cache_dir,
+)
+from .runner import (
+    PairFailure,
+    PairRecord,
+    RunManifest,
+    SuiteRunResult,
+    SuiteRunner,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "PairFailure",
+    "PairRecord",
+    "ResultCache",
+    "RunManifest",
+    "SuiteRunResult",
+    "SuiteRunner",
+    "content_hash",
+    "default_cache_dir",
+]

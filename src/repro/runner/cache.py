@@ -1,0 +1,166 @@
+"""Deterministic on-disk result cache for characterization runs.
+
+Each cache entry holds the scaled counter values of one application-input
+pair collected under one exact collection setup.  The entry key is a
+content hash over everything that can change those values:
+
+* the full :class:`~repro.config.SystemConfig` (caches, pipeline,
+  predictor, frequency — the simulated substrate),
+* the full :class:`~repro.workloads.profile.WorkloadProfile`,
+* the sample parameters (``sample_ops``, ``warmup_fraction``),
+* the package version and the cache schema version (code invalidation).
+
+Because the simulation is deterministic, a cache hit is bitwise identical
+to a fresh run; anything that would change the numbers changes the key, so
+stale entries are never *reused* — they are simply unreachable until
+:meth:`ResultCache.clear` garbage-collects them.
+
+The default location is ``~/.cache/repro`` and can be overridden with the
+``REPRO_CACHE_DIR`` environment variable or per-cache with the
+``directory`` argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Bump to invalidate every existing cache entry on disk (layout changes).
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _code_version() -> str:
+    # Imported lazily: repro/__init__ re-exports the runner package, so a
+    # module-level import here would be circular.
+    from .. import __version__
+
+    return __version__
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def jsonable(obj):
+    """Recursively convert dataclasses/enums/tuples to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): jsonable(value) for key, value in obj.items()}
+    return obj
+
+
+def content_hash(material) -> str:
+    """SHA-256 over the canonical JSON encoding of ``material``."""
+    payload = json.dumps(
+        jsonable(material), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store of per-pair counter values."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ResultCache(%r)" % str(self.directory)
+
+    def key(self, config, profile, sample_ops: int, warmup_fraction: float) -> str:
+        """The cache key of one (config, profile, sample params) tuple."""
+        return content_hash(
+            {
+                "schema": CACHE_SCHEMA,
+                "code_version": _code_version(),
+                "config": config,
+                "profile": profile,
+                "sample_ops": sample_ops,
+                "warmup_fraction": warmup_fraction,
+            }
+        )
+
+    def path(self, key: str) -> Path:
+        return self.directory / (key + ".json")
+
+    def load(self, key: str) -> Optional[Dict[str, float]]:
+        """The stored counter values, or None on miss/corruption."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+            return None
+        values = entry.get("values")
+        if not isinstance(values, dict):
+            return None
+        try:
+            return {str(name): float(value) for name, value in values.items()}
+        except (TypeError, ValueError):
+            return None
+
+    def store(self, key: str, pair_name: str, values: Dict[str, float]) -> Path:
+        """Atomically persist one pair's counter values."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "code_version": _code_version(),
+            "pair": pair_name,
+            "values": {name: float(value) for name, value in values.items()},
+        }
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            path = self.path(key)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,459 @@
+"""Parallel, cached, fault-tolerant characterization of pair sweeps.
+
+:class:`SuiteRunner` is the batch front door to
+:class:`~repro.perf.session.PerfSession`: it takes any set of
+application-input pairs, serves previously collected results from the
+on-disk :class:`~repro.runner.cache.ResultCache`, and fans the remaining
+pairs out over a ``concurrent.futures`` process pool.  Workers re-create
+their own ``PerfSession`` from the picklable
+:class:`~repro.config.SystemConfig` plus the sample parameters, so only
+profiles and plain counter dictionaries ever cross the process boundary.
+
+A pair that fails — a :class:`~repro.errors.CollectionError` in strict
+mode, or any unexpected exception — never aborts the sweep: it gets one
+bounded retry (in the parent process, so a broken pool cannot take the
+sweep down with it) and then yields a structured :class:`PairFailure`.
+Every run returns a :class:`RunManifest` recording per-pair wall time,
+cache hit/miss counts, worker count, and failures.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import CounterError, SimulationError
+from ..perf.report import CounterReport
+from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
+from ..workloads.profile import InputSize, MiniSuite, WorkloadProfile
+from ..workloads.suite import AppInput, BenchmarkSuite
+from .cache import ResultCache
+
+#: Reason recorded for pairs the paper could not collect (strict mode).
+_COLLECTION_REASON = "perf reported collection errors for this pair in the paper"
+
+PairLike = Union[AppInput, WorkloadProfile]
+
+#: ``progress(done, total, record)`` — invoked once per finished pair.
+ProgressCallback = Callable[[int, int, "PairRecord"], None]
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  One PerfSession per worker process, created by the pool
+# initializer; tasks return plain tuples so no repro exception ever needs
+# to survive pickling.
+# ---------------------------------------------------------------------------
+
+_WORKER_SESSION: Optional[PerfSession] = None
+
+
+def _init_worker(config, sample_ops: int, warmup_fraction: float) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = PerfSession(
+        config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction
+    )
+
+
+def _run_pair(profile: WorkloadProfile, strict_errors: bool):
+    started = time.perf_counter()
+    try:
+        report = _WORKER_SESSION.run(profile, strict_errors=strict_errors)
+        return "ok", dict(report), time.perf_counter() - started
+    except Exception as error:  # structured transport; parent retries
+        detail = (type(error).__name__, str(error))
+        return "error", detail, time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PairFailure:
+    """One pair whose characterization failed after all attempts."""
+
+    pair_name: str
+    error_type: str
+    message: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """Per-pair manifest line: where the result came from and how long."""
+
+    pair_name: str
+    seconds: float
+    cached: bool
+    attempts: int
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Accounting of one :meth:`SuiteRunner.run` sweep."""
+
+    workers: int
+    total_pairs: int
+    cache_hits: int
+    cache_misses: int
+    wall_time_seconds: float
+    records: Tuple[PairRecord, ...]
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for record in self.records if record.failed)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pairs served from cache (0 when nothing ran)."""
+        return self.cache_hits / self.total_pairs if self.total_pairs else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (for export or logging)."""
+        return {
+            "workers": self.workers,
+            "total_pairs": self.total_pairs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "failures": self.failure_count,
+            "wall_time_seconds": self.wall_time_seconds,
+            "records": [
+                {
+                    "pair": record.pair_name,
+                    "seconds": record.seconds,
+                    "cached": record.cached,
+                    "attempts": record.attempts,
+                    "error": record.error,
+                }
+                for record in self.records
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            "%d pairs in %.2fs (%d cached, %d simulated, %d failed, "
+            "%d workers)"
+            % (
+                self.total_pairs,
+                self.wall_time_seconds,
+                self.cache_hits,
+                self.cache_misses,
+                self.failure_count,
+                self.workers,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SuiteRunResult:
+    """Everything one sweep produced."""
+
+    reports: Dict[str, CounterReport]
+    failures: Tuple[PairFailure, ...]
+    manifest: RunManifest
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def report(self, pair_name: str) -> CounterReport:
+        try:
+            return self.reports[pair_name]
+        except KeyError:
+            raise CounterError(
+                "no report collected for %r in this run" % pair_name
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class SuiteRunner:
+    """Characterizes sets of application-input pairs in parallel, cached.
+
+    Args:
+        config: Simulated system (default: the paper's Table-I machine).
+        sample_ops: Simulated micro-ops per pair.
+        warmup_fraction: Measurement-window warmup fraction.
+        workers: Process count (default: ``os.cpu_count()``).  ``1`` runs
+            everything inline in the calling process.
+        cache: An explicit :class:`ResultCache` to use.
+        cache_dir: Directory for the default cache (ignored if ``cache``
+            is given).
+        use_cache: ``False`` disables reading *and* writing the cache —
+            the ``--no-cache`` escape hatch.
+        retries: Bounded retry budget per failing pair.
+        progress: Optional ``callback(done, total, record)`` invoked as
+            each pair finishes.
+    """
+
+    def __init__(
+        self,
+        config=None,
+        sample_ops: int = DEFAULT_SAMPLE_OPS,
+        warmup_fraction: float = 0.15,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        cache_dir=None,
+        use_cache: bool = True,
+        retries: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        # The local session validates the sample parameters eagerly and
+        # serves inline runs plus in-parent retries.
+        self._session = PerfSession(
+            config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction
+        )
+        self.config = self._session.config
+        self.sample_ops = sample_ops
+        self.warmup_fraction = warmup_fraction
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise SimulationError("workers must be >= 1, got %r" % workers)
+        self.workers = workers
+        if retries < 0:
+            raise SimulationError("retries must be >= 0, got %r" % retries)
+        self.retries = retries
+        self.cache: Optional[ResultCache] = None
+        if use_cache:
+            self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.progress = progress
+        #: Cumulative counts across every ``run()`` call on this runner.
+        self.total_cache_hits = 0
+        self.total_cache_misses = 0
+
+    def make_session(self) -> PerfSession:
+        """A fresh ``PerfSession`` with this runner's collection setup."""
+        return PerfSession(
+            config=self.config,
+            sample_ops=self.sample_ops,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+    # -- public entry points ----------------------------------------------
+
+    def characterize(
+        self,
+        suite: BenchmarkSuite,
+        size: Optional[InputSize] = InputSize.REF,
+        mini_suite: Optional[MiniSuite] = None,
+        strict_errors: bool = False,
+    ) -> SuiteRunResult:
+        """Characterize every pair of a suite (see ``BenchmarkSuite.pairs``)."""
+        return self.run(
+            suite.pairs(size=size, suite=mini_suite), strict_errors=strict_errors
+        )
+
+    def run(
+        self, pairs: Iterable[PairLike], strict_errors: bool = False
+    ) -> SuiteRunResult:
+        """Characterize ``pairs``; never raises for individual pair failures."""
+        profiles = self._normalize(pairs)
+        started = time.perf_counter()
+        total = len(profiles)
+
+        reports: Dict[str, CounterReport] = {}
+        records: Dict[str, PairRecord] = {}
+        failures: List[PairFailure] = []
+        keys: Dict[str, str] = {}
+        pending: List[WorkloadProfile] = []
+        done = 0
+
+        def finish(record: PairRecord) -> None:
+            nonlocal done
+            done += 1
+            records[record.pair_name] = record
+            if self.progress is not None:
+                self.progress(done, total, record)
+
+        # Phase 1: strict-mode precheck + cache lookups.  The collection
+        # -error check runs *before* the cache so a strict sweep can never
+        # serve counters for a pair the paper failed to collect.
+        hits = 0
+        for profile in profiles:
+            name = profile.pair_name
+            if strict_errors and profile.collection_error:
+                failures.append(
+                    PairFailure(name, "CollectionError", _COLLECTION_REASON, 0)
+                )
+                finish(PairRecord(name, 0.0, False, 0, "CollectionError"))
+                continue
+            if self.cache is not None:
+                lookup_started = time.perf_counter()
+                key = self.cache.key(
+                    self.config, profile, self.sample_ops, self.warmup_fraction
+                )
+                keys[name] = key
+                values = self.cache.load(key)
+                if values is not None:
+                    try:
+                        reports[name] = CounterReport(profile, values)
+                    except CounterError:
+                        values = None  # stale layout: treat as a miss
+                if values is not None:
+                    hits += 1
+                    finish(
+                        PairRecord(
+                            name, time.perf_counter() - lookup_started, True, 0
+                        )
+                    )
+                    continue
+            pending.append(profile)
+
+        misses = len(pending)
+        self.total_cache_hits += hits
+        self.total_cache_misses += misses
+
+        # Phase 2: simulate the misses — pooled when it pays, else inline.
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_pooled(
+                    pending, strict_errors, reports, failures, keys, finish
+                )
+            else:
+                for profile in pending:
+                    self._run_with_retries(
+                        profile, strict_errors, reports, failures, keys, finish,
+                        prior_attempts=0, prior_seconds=0.0,
+                    )
+
+        manifest = RunManifest(
+            workers=self.workers,
+            total_pairs=total,
+            cache_hits=hits,
+            cache_misses=misses,
+            wall_time_seconds=time.perf_counter() - started,
+            records=tuple(records[p.pair_name] for p in profiles),
+        )
+        ordered = {
+            p.pair_name: reports[p.pair_name]
+            for p in profiles
+            if p.pair_name in reports
+        }
+        return SuiteRunResult(ordered, tuple(failures), manifest)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _normalize(pairs: Iterable[PairLike]) -> List[WorkloadProfile]:
+        profiles: List[WorkloadProfile] = []
+        seen = set()
+        for item in pairs:
+            profile = item.profile if isinstance(item, AppInput) else item
+            if not isinstance(profile, WorkloadProfile):
+                raise SimulationError(
+                    "SuiteRunner.run expects AppInput or WorkloadProfile "
+                    "items, got %r" % type(item).__name__
+                )
+            if profile.pair_name in seen:
+                continue
+            seen.add(profile.pair_name)
+            profiles.append(profile)
+        return profiles
+
+    def _record_success(
+        self,
+        profile: WorkloadProfile,
+        values: Dict[str, float],
+        seconds: float,
+        attempts: int,
+        reports: Dict[str, CounterReport],
+        keys: Dict[str, str],
+        finish: Callable[[PairRecord], None],
+    ) -> None:
+        name = profile.pair_name
+        reports[name] = CounterReport(profile, values)
+        if self.cache is not None:
+            try:
+                self.cache.store(keys[name], name, values)
+            except OSError:
+                # A cache write failure (read-only dir, full disk) must
+                # not sink a sweep whose counters are already in hand;
+                # the pair simply stays uncached.
+                pass
+        finish(PairRecord(name, seconds, False, attempts))
+
+    def _run_with_retries(
+        self,
+        profile: WorkloadProfile,
+        strict_errors: bool,
+        reports: Dict[str, CounterReport],
+        failures: List[PairFailure],
+        keys: Dict[str, str],
+        finish: Callable[[PairRecord], None],
+        prior_attempts: int,
+        prior_seconds: float,
+        last_error: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        """Run one pair inline with the remaining retry budget."""
+        name = profile.pair_name
+        attempts = prior_attempts
+        seconds = prior_seconds
+        while attempts <= self.retries:
+            attempts += 1
+            attempt_started = time.perf_counter()
+            try:
+                report = self._session.run(profile, strict_errors=strict_errors)
+            except Exception as error:
+                seconds += time.perf_counter() - attempt_started
+                last_error = (type(error).__name__, str(error))
+                continue
+            seconds += time.perf_counter() - attempt_started
+            self._record_success(
+                profile, dict(report), seconds, attempts, reports, keys, finish
+            )
+            return
+        error_type, message = last_error or ("Error", "unknown failure")
+        failures.append(PairFailure(name, error_type, message, attempts))
+        finish(PairRecord(name, seconds, False, attempts, error_type))
+
+    def _run_pooled(
+        self,
+        pending: List[WorkloadProfile],
+        strict_errors: bool,
+        reports: Dict[str, CounterReport],
+        failures: List[PairFailure],
+        keys: Dict[str, str],
+        finish: Callable[[PairRecord], None],
+    ) -> None:
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.config, self.sample_ops, self.warmup_fraction),
+        ) as pool:
+            futures = {
+                pool.submit(_run_pair, profile, strict_errors): profile
+                for profile in pending
+            }
+            for future in as_completed(futures):
+                profile = futures[future]
+                try:
+                    status, payload, seconds = future.result()
+                except Exception as error:
+                    # Pool-level failure (e.g. BrokenProcessPool): retry
+                    # in the parent so one dead worker cannot sink the run.
+                    status = "error"
+                    payload = (type(error).__name__, str(error))
+                    seconds = 0.0
+                if status == "ok":
+                    self._record_success(
+                        profile, payload, seconds, 1, reports, keys, finish
+                    )
+                else:
+                    self._run_with_retries(
+                        profile, strict_errors, reports, failures, keys,
+                        finish, prior_attempts=1, prior_seconds=seconds,
+                        last_error=tuple(payload),
+                    )

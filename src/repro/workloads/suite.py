@@ -85,6 +85,13 @@ class Benchmark:
         group = self.inputs(size)
         if not group:
             raise UnknownBenchmarkError("%s/%s" % (self.name, size.value))
+        if index < 0:
+            # Negative indices would silently wrap around to the last
+            # input; treat them as unknown like any other bad index.
+            raise UnknownBenchmarkError(
+                "%s input #%d at size %s (indices start at 0)"
+                % (self.name, index, size.value)
+            )
         try:
             return group[index]
         except IndexError:
@@ -104,6 +111,9 @@ class BenchmarkSuite:
             if benchmark.name in self._benchmarks:
                 raise WorkloadError("duplicate benchmark %s" % benchmark.name)
             self._benchmarks[benchmark.name] = benchmark
+        # Lazily built pair-name -> AppInput index (the registry is
+        # immutable after construction, so building it once is safe).
+        self._pair_index: Optional[Dict[str, AppInput]] = None
 
     def __len__(self) -> int:
         return len(self._benchmarks)
@@ -130,6 +140,12 @@ class BenchmarkSuite:
                        if b.name.split(".", 1)[-1] == name]
         if len(suffix_hits) == 1:
             return suffix_hits[0]
+        if len(suffix_hits) > 1:
+            raise UnknownBenchmarkError(
+                name,
+                tuple(b.name for b in suffix_hits),
+                reason="ambiguous benchmark name",
+            )
         candidates = get_close_matches(name, self._benchmarks, n=3, cutoff=0.5)
         raise UnknownBenchmarkError(name, tuple(candidates))
 
@@ -171,10 +187,13 @@ class BenchmarkSuite:
         """Look up one pair by its full pair name, e.g.
         ``"603.bwaves_s-in1/ref"`` (the size suffix may be omitted for
         ref)."""
+        if self._pair_index is None:
+            self._pair_index = {p.pair_name: p for p in self.pairs()}
         wanted = pair_name if "/" in pair_name else pair_name + "/ref"
-        for pair in self.pairs():
-            if pair.pair_name == wanted:
-                return pair
-        names = [p.pair_name for p in self.pairs()]
-        candidates = get_close_matches(wanted, names, n=3, cutoff=0.4)
-        raise UnknownBenchmarkError(pair_name, tuple(candidates))
+        try:
+            return self._pair_index[wanted]
+        except KeyError:
+            candidates = get_close_matches(
+                wanted, self._pair_index, n=3, cutoff=0.4
+            )
+            raise UnknownBenchmarkError(pair_name, tuple(candidates)) from None

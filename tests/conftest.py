@@ -24,6 +24,20 @@ from repro.workloads.spec2017 import cpu2017
 TEST_SAMPLE_OPS = 20_000
 
 
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_cache(tmp_path_factory):
+    """Point the SuiteRunner result cache at a throwaway directory so the
+    suite never reads or pollutes the user's real ~/.cache/repro."""
+    from _pytest.monkeypatch import MonkeyPatch
+
+    patch = MonkeyPatch()
+    patch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro-cache"))
+    )
+    yield
+    patch.undo()
+
+
 @pytest.fixture(scope="session")
 def config():
     return haswell_e5_2650l_v3()

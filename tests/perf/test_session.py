@@ -51,6 +51,20 @@ class TestErrors:
         with pytest.raises(SimulationError):
             PerfSession(config=config, sample_ops=0)
 
+    @pytest.mark.parametrize("warmup", [-0.1, 1.0, 1.5])
+    def test_rejects_degenerate_warmup_fraction(self, config, warmup):
+        # warmup >= 1 or < 0 leaves an empty/negative measurement window
+        # and NaN or divide-by-zero rates downstream.
+        with pytest.raises(SimulationError):
+            PerfSession(config=config, warmup_fraction=warmup)
+
+    def test_accepts_boundary_warmup_fractions(self, config, mcf_ref):
+        for warmup in (0.0, 0.5):
+            report = PerfSession(
+                config=config, sample_ops=5_000, warmup_fraction=warmup
+            ).run(mcf_ref)
+            assert report.ipc > 0
+
     def test_strict_mode_raises_for_cam4(self, session, suite17):
         cam4 = suite17.get("627.cam4_s").profile(InputSize.REF)
         assert cam4.collection_error

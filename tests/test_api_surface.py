@@ -23,6 +23,8 @@ class TestTopLevel:
         "ReproError", "ConfigError", "WorkloadError", "SimulationError",
         "CounterError", "CollectionError", "AnalysisError",
         "ClusteringError", "ExperimentError", "UnknownBenchmarkError",
+        "SuiteRunner", "SuiteRunResult", "ResultCache", "RunManifest",
+        "PairFailure",
     ])
     def test_name_exported(self, name):
         assert hasattr(repro, name)
@@ -56,6 +58,9 @@ class TestTopLevel:
                       "interval_signatures", "slice_trace"]),
     ("repro.perf", ["PerfSession", "CounterReport", "ALL_COUNTERS",
                     "describe"]),
+    ("repro.runner", ["SuiteRunner", "SuiteRunResult", "ResultCache",
+                      "RunManifest", "PairFailure", "PairRecord",
+                      "default_cache_dir", "content_hash"]),
     ("repro.reports", ["run_experiment", "list_experiments",
                        "ExperimentContext", "ExperimentResult",
                        "format_table", "EXPERIMENT_IDS"]),

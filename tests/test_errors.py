@@ -45,3 +45,25 @@ class TestMessages:
         error = errors.CollectionError("627.cam4_s/ref", "perf failed")
         assert error.pair_name == "627.cam4_s/ref"
         assert "perf failed" in str(error)
+
+
+class TestPickling:
+    """Errors must survive process-pool boundaries (SuiteRunner workers)."""
+
+    def test_collection_error_roundtrip(self):
+        import pickle
+
+        error = errors.CollectionError("627.cam4_s/ref", "perf failed")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.pair_name == error.pair_name
+        assert str(clone) == str(error)
+
+    def test_unknown_benchmark_roundtrip(self):
+        import pickle
+
+        error = errors.UnknownBenchmarkError(
+            "toy_r", ("901.toy_r", "902.toy_r"), reason="ambiguous benchmark name"
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.candidates == error.candidates
+        assert str(clone) == str(error)

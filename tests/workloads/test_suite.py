@@ -57,6 +57,11 @@ class TestBenchmark:
         with pytest.raises(UnknownBenchmarkError):
             make_benchmark().profile(InputSize.REF, 3)
 
+    def test_profile_rejects_negative_index(self):
+        # profile(size, -1) used to silently return the last input.
+        with pytest.raises(UnknownBenchmarkError):
+            make_benchmark().profile(InputSize.REF, -1)
+
     def test_rejects_empty_profiles(self):
         with pytest.raises(WorkloadError):
             Benchmark("901.toy_r", MiniSuite.RATE_INT, "C", {})
@@ -99,6 +104,32 @@ class TestBenchmarkSuite:
         pair = suite17.find_pair("505.mcf_r/ref")
         assert pair.pair_name == "505.mcf_r/ref"
         assert pair.short_name == "505.mcf_r"
+
+    def test_get_ambiguous_suffix_lists_candidates(self):
+        suite = BenchmarkSuite(
+            "toy", [make_benchmark("901.toy_r"), make_benchmark("902.toy_r")]
+        )
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            suite.get("toy_r")
+        assert excinfo.value.candidates == ("901.toy_r", "902.toy_r")
+        assert "ambiguous" in str(excinfo.value)
+
+    def test_get_exact_name_wins_over_ambiguity(self):
+        suite = BenchmarkSuite(
+            "toy", [make_benchmark("901.toy_r"), make_benchmark("902.toy_r")]
+        )
+        assert suite.get("901.toy_r").name == "901.toy_r"
+
+    def test_find_pair_uses_cached_index(self, suite17):
+        pair = suite17.find_pair("603.bwaves_s-in1")
+        assert pair.pair_name == "603.bwaves_s-in1/ref"
+        # Same object on repeat lookups (served from the one-shot index).
+        assert suite17.find_pair("603.bwaves_s-in1") is pair
+
+    def test_find_pair_unknown_suggests_candidates(self, suite17):
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            suite17.find_pair("603.bwave_s-in1")
+        assert excinfo.value.candidates
 
     def test_mini_suite_registry_name(self, suite17):
         sub = suite17.mini_suite(MiniSuite.SPEED_FP)
