@@ -30,7 +30,9 @@ from .errors import (
     CollectionError,
     ConfigError,
     CounterError,
+    CounterValidationError,
     ExperimentError,
+    LintError,
     ReproError,
     SimulationError,
     UnknownBenchmarkError,
@@ -64,7 +66,9 @@ __all__ = [
     "ConfigError",
     "CounterError",
     "CounterReport",
+    "CounterValidationError",
     "ExperimentError",
+    "LintError",
     "InputSize",
     "MiniSuite",
     "PairFailure",

@@ -11,6 +11,7 @@ the subset-weighted ranking by rank correlation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -39,7 +40,7 @@ class RankingValidation:
     @property
     def rankings_agree(self) -> bool:
         """True when the orderings are identical (tau == 1)."""
-        return self.kendall == 1.0
+        return math.isclose(self.kendall, 1.0, rel_tol=0.0, abs_tol=1e-9)
 
 
 class DesignRanker:

@@ -65,6 +65,31 @@ class CollectionError(ReproError):
         return (type(self), (self.pair_name, self.reason))
 
 
+class CounterValidationError(CounterError):
+    """A counter report violates the layer's consistency invariants
+    (per-level hit+miss vs. loads, branch subtype sums, rate bounds,
+    RSS vs. VSZ) and must not feed downstream analysis.
+    """
+
+    def __init__(self, pair_name: str, violations: tuple = ()):
+        self.pair_name = pair_name
+        self.violations = tuple(violations)
+        super().__init__(
+            "inconsistent counter report for %s: %s"
+            % (pair_name, "; ".join(self.violations) or "unspecified violation")
+        )
+
+    def __reduce__(self):
+        # Keep the two-argument constructor signature picklable so the
+        # error survives a round trip through a worker process.
+        return (type(self), (self.pair_name, self.violations))
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured (bad rule id, unknown
+    path, unknown output format)."""
+
+
 class AnalysisError(ReproError):
     """A statistical analysis was invoked on unusable data."""
 

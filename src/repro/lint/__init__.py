@@ -1,0 +1,41 @@
+"""``repro.lint`` — the repository's own static-analysis pass.
+
+An AST-based linter enforcing the determinism and consistency contract
+the reproduction depends on: no ambient randomness (the result cache
+assumes bit-identical replay), picklable pool/cache-crossing types, no
+float equality in the analysis layers, counter names sourced from
+:mod:`repro.perf.counters` only, no mutable defaults, and seed
+parameters on every public RNG-constructing function.
+
+Run it as ``python -m repro lint [paths]``; suppress a finding in place
+with ``# repro: noqa[RULE001]`` (or a bare ``# repro: noqa``).  Register
+project-specific rules with :func:`repro.lint.rules.register`.
+"""
+
+from .engine import (
+    PARSE_RULE_ID,
+    FileContext,
+    Finding,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from .reporters import render, render_json, render_text
+from .rules import Rule, active_rules, all_rules, get_rule, register
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "active_rules",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,247 @@
+"""The ``repro lint`` engine: parse, run rules, apply suppressions.
+
+The engine is deliberately small: it parses each file once, hands the
+resulting :class:`FileContext` to every registered rule, and filters the
+collected findings through per-line ``# repro: noqa[RULE]`` suppressions.
+Rules are plain objects registered with :func:`repro.lint.rules.register`;
+nothing here knows what any individual rule checks.
+
+Determinism note: findings are reported in (path, line, column, rule)
+order and directory walks are sorted, so two runs over the same tree
+always produce byte-identical output — the same property the result
+cache demands of the simulation itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+
+#: Pseudo rule id attached to files the engine cannot parse.  It is not a
+#: registered rule (nothing to configure) but it participates in noqa
+#: handling and reporting like any other id.
+PARSE_RULE_ID = "PAR000"
+
+#: ``# repro: noqa`` or ``# repro: noqa[RNG001]`` / ``[RNG001,MUT001]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<rules>[A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.column, self.rule_id, self.message
+        )
+
+
+class FileContext:
+    """Everything a rule may want to know about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Path components, used by rules scoped to subtrees (FLT001).
+        self.path_parts: Tuple[str, ...] = Path(path).parts
+        self._docstring_lines: Optional[Set[int]] = None
+        self._import_aliases: Optional[Dict[str, str]] = None
+
+    # -- shared per-file analyses (computed once, used by several rules) --
+
+    @property
+    def docstring_lines(self) -> Set[int]:
+        """Line numbers covered by docstring constants."""
+        if self._docstring_lines is None:
+            lines: Set[int] = set()
+            for node in ast.walk(self.tree):
+                if not isinstance(
+                    node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                           ast.AsyncFunctionDef)
+                ):
+                    continue
+                body = getattr(node, "body", [])
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    doc = body[0].value
+                    end = getattr(doc, "end_lineno", doc.lineno) or doc.lineno
+                    lines.update(range(doc.lineno, end + 1))
+            self._docstring_lines = lines
+        return self._docstring_lines
+
+    @property
+    def import_aliases(self) -> Dict[str, str]:
+        """Local name -> fully-qualified dotted name, from the imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+        random`` maps ``random -> numpy.random``; ``from random import
+        randint`` maps ``randint -> random.randint``.
+        """
+        if self._import_aliases is None:
+            aliases: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            aliases[alias.asname] = alias.name
+                        else:
+                            root = alias.name.split(".", 1)[0]
+                            aliases[root] = root
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:  # relative import: never stdlib/numpy
+                        continue
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        aliases[local] = "%s.%s" % (node.module, alias.name)
+            self._import_aliases = aliases
+        return self._import_aliases
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Resolve a call's function expression to a dotted name.
+
+        Follows ``Attribute`` chains down to a root ``Name`` and rewrites
+        the root through :attr:`import_aliases`, so ``np.random.rand``
+        resolves to ``numpy.random.rand`` under ``import numpy as np``.
+        Returns ``None`` for anything not rooted in a plain name
+        (e.g. ``self._rng.random``).
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.import_aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppression map: line -> rule-id set, or None for "all"."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None  # bare noqa: everything on this line
+        else:
+            table[lineno] = {r.strip() for r in rules.split(",")}
+    return table
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint one source string and return its (suppression-filtered)
+    findings, sorted by location."""
+    from .rules import active_rules
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1),
+                rule_id=PARSE_RULE_ID,
+                message="cannot parse file: %s" % error.msg,
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    findings: List[Finding] = []
+    for rule in active_rules(rules):
+        for finding in rule.check(ctx):
+            findings.append(finding)
+    suppressed = _suppressions(source)
+    kept = []
+    for finding in findings:
+        allowed = suppressed.get(finding.line, ...)
+        if allowed is None:
+            continue  # bare noqa
+        if allowed is not ... and finding.rule_id in allowed:
+            continue
+        kept.append(finding)
+    return sorted(kept)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``*.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise LintError("no such file or directory: %s" % raw)
+    # De-duplicate while keeping the sorted-per-argument order stable.
+    seen: Set[Path] = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(str(path), 1, 1, PARSE_RULE_ID,
+                        "cannot read file: %s" % error)
+            )
+            continue
+        findings.extend(lint_source(source, str(path), rules=rules))
+    return sorted(findings)

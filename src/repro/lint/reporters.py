@@ -1,0 +1,50 @@
+"""Output formatting for ``repro lint`` findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """flake8-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [str(finding) for finding in findings]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        breakdown = ", ".join(
+            "%s x%d" % (rule, count) for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append("%d finding%s (%s)" % (
+            len(findings), "" if len(findings) == 1 else "s", breakdown
+        ))
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(findings: Sequence[Finding], fmt: str = "text") -> str:
+    renderers = {"text": render_text, "json": render_json}
+    try:
+        renderer = renderers[fmt]
+    except KeyError:
+        from ..errors import LintError
+
+        raise LintError(
+            "unknown lint output format %r (valid: %s)"
+            % (fmt, ", ".join(sorted(renderers)))
+        ) from None
+    return renderer(findings)

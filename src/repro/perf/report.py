@@ -1,12 +1,29 @@
-"""Counter reports: the output of one perf session."""
+"""Counter reports: the output of one perf session.
+
+Reports carry their own consistency contract: :meth:`CounterReport.
+validate` checks the invariants every consumer of the counter layer
+assumes (per-level hit + miss equals the loads that reached the level,
+branch subtypes sum to all branches, mispredicts bounded by branches,
+rates in [0, 1], RSS bounded by VSZ).  :class:`~repro.runner.runner.
+SuiteRunner` enforces it on every simulated and cached pair, so an
+inconsistent report surfaces as a structured failure instead of silently
+poisoning the PCA/clustering chain downstream.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+import math
+from typing import Dict, Iterator, List, Mapping, Tuple
 
-from ..errors import CounterError
+from ..errors import CounterError, CounterValidationError
 from ..workloads.profile import WorkloadProfile
 from . import counters as C
+
+#: Relative slack for count identities.  Counters are scaled floats (counts
+#: up to ~1e13), so identities that are exact in exact arithmetic may drift
+#: a few ulps through the per-op scaling.
+_REL_TOL = 1e-6
+_ABS_TOL = 1e-6
 
 
 class CounterReport(Mapping):
@@ -111,3 +128,126 @@ class CounterReport(Mapping):
     @property
     def vsz_bytes(self) -> float:
         return self[C.PS_VSZ]
+
+    # -- consistency contract -------------------------------------------------
+
+    def validate(self) -> Tuple[str, ...]:
+        """Check the counter-consistency invariants; return violations.
+
+        An empty tuple means the report is internally consistent.  Checks
+        only apply when every counter they mention is present, so partial
+        reports (old cache layouts, hand-built test fixtures) validate
+        the subset they carry.
+        """
+        values = self._values
+        issues: List[str] = []
+
+        for name in sorted(values):
+            value = values[name]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                issues.append("%s is not numeric (%r)" % (name, value))
+            elif not math.isfinite(value):
+                issues.append("%s is not finite (%r)" % (name, value))
+            elif value < 0:
+                issues.append("%s is negative (%r)" % (name, value))
+        if issues:
+            # The arithmetic identities below assume finite, non-negative
+            # operands; report the primitive violations alone.
+            return tuple(issues)
+
+        def have(*names: str) -> bool:
+            return all(name in values for name in names)
+
+        def close(a: float, b: float) -> bool:
+            return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+
+        def at_most(a: float, b: float) -> bool:
+            return a <= b or close(a, b)
+
+        # Per-level hit + miss must equal the loads that reached the level
+        # (which also caps misses at accesses, given non-negativity).
+        chain = (
+            ("L1", C.L1_HIT, C.L1_MISS, C.MEM_LOADS, "all loads"),
+            ("L2", C.L2_HIT, C.L2_MISS, C.L1_MISS, "L1 misses"),
+            ("L3", C.L3_HIT, C.L3_MISS, C.L2_MISS, "L2 misses"),
+        )
+        for level, hit, miss, total, label in chain:
+            if have(hit, miss, total) and not close(
+                values[hit] + values[miss], values[total]
+            ):
+                issues.append(
+                    "%s hit+miss (%g) != %s (%g)"
+                    % (level, values[hit] + values[miss], label, values[total])
+                )
+
+        if have(C.BR_ALL, *C.BRANCH_COUNTERS):
+            subtype_sum = sum(values[name] for name in C.BRANCH_COUNTERS)
+            if not close(subtype_sum, values[C.BR_ALL]):
+                issues.append(
+                    "branch subtypes sum to %g but all-branches is %g"
+                    % (subtype_sum, values[C.BR_ALL])
+                )
+
+        if have(C.BR_ALL, C.BR_MISP) and not at_most(
+            values[C.BR_MISP], values[C.BR_ALL]
+        ):
+            issues.append(
+                "mispredicted branches (%g) exceed all branches (%g)"
+                % (values[C.BR_MISP], values[C.BR_ALL])
+            )
+
+        if have(C.UOPS_RETIRED, C.MEM_LOADS, C.MEM_STORES, C.BR_ALL):
+            classified = (
+                values[C.MEM_LOADS] + values[C.MEM_STORES] + values[C.BR_ALL]
+            )
+            if not at_most(classified, values[C.UOPS_RETIRED]):
+                issues.append(
+                    "loads+stores+branches (%g) exceed retired uops (%g)"
+                    % (classified, values[C.UOPS_RETIRED])
+                )
+
+        if have(C.PS_RSS, C.PS_VSZ) and not at_most(
+            values[C.PS_RSS], values[C.PS_VSZ]
+        ):
+            issues.append(
+                "RSS (%g) exceeds VSZ (%g)"
+                % (values[C.PS_RSS], values[C.PS_VSZ])
+            )
+
+        if (
+            have(C.INST_RETIRED, C.REF_CYCLES)
+            and values[C.INST_RETIRED] > 0
+            and values[C.REF_CYCLES] <= 0
+        ):
+            issues.append(
+                "zero cycles against %g retired instructions (IPC undefined)"
+                % values[C.INST_RETIRED]
+            )
+
+        # Derived rates must land in [0, 1]; given the identities above
+        # these are belt-and-braces, but they are the properties the
+        # analysis chain actually consumes.
+        for label, rate in self._rate_views():
+            if not -_REL_TOL <= rate <= 1.0 + _REL_TOL:
+                issues.append("%s (%g) outside [0, 1]" % (label, rate))
+
+        return tuple(issues)
+
+    def _rate_views(self) -> List[Tuple[str, float]]:
+        """The [0, 1]-bounded derived rates computable from this report."""
+        values = self._values
+        rates: List[Tuple[str, float]] = []
+        for level, (hit_name, miss_name) in enumerate(C.CACHE_COUNTERS, start=1):
+            if hit_name in values and miss_name in values:
+                rates.append(("L%d miss rate" % level, self.miss_rate(level)))
+        if C.BR_ALL in values and C.BR_MISP in values:
+            rates.append(("mispredict rate", self.mispredict_rate))
+        return rates
+
+    def require_valid(self) -> "CounterReport":
+        """Return self if consistent, else raise
+        :class:`~repro.errors.CounterValidationError`."""
+        issues = self.validate()
+        if issues:
+            raise CounterValidationError(self.profile.pair_name, issues)
+        return self

@@ -70,7 +70,9 @@ class PerfSession:
             )
         trace = self._generator.generate(profile, n_ops=self.sample_ops)
         result = self._core.run(trace, warmup_fraction=self.warmup_fraction)
-        return CounterReport(profile, self._scale(profile, result))
+        # The scaled counters are consistent by construction; enforcing it
+        # here means no inconsistent report can ever leave the session.
+        return CounterReport(profile, self._scale(profile, result)).require_valid()
 
     def _scale(self, profile: WorkloadProfile, result: CoreResult) -> Dict[str, float]:
         """Scale sampled statistics to the nominal run."""
@@ -79,8 +81,11 @@ class PerfSession:
 
         loads = result.trace_loads * per_op
         stores = result.trace_stores * per_op
-        branches = result.trace_branches * per_op
         subtype_counts = [count * per_op for count in result.branch_subtypes]
+        # All-branches is the sum of its subtypes *by construction*: scaling
+        # the trace total separately would let float rounding open a gap
+        # between br_inst_exec.all_branches and the subtype counters.
+        branches = float(sum(subtype_counts))
 
         # Per-level load counts follow the measured window miss rates.
         m1, m2, m3 = result.load_miss_rates

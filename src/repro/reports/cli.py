@@ -6,6 +6,7 @@ Subcommands::
     repro run table2 fig7 ...       # run selected experiments
     repro run all                   # run every table and figure
     repro pair 505.mcf_r            # characterize one application (ref)
+    repro lint src/                 # run the repo's static-analysis pass
 """
 
 from __future__ import annotations
@@ -88,6 +89,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     phases.add_argument("--segments", type=int, default=24,
                         help="schedule segments (default %(default)s)")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro static-analysis pass (exit 1 on findings)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default %(default)s)",
+    )
+    lint.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     return parser
 
 
@@ -156,6 +178,21 @@ def _cmd_pair(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from ..lint import active_rules, lint_paths, render
+
+    if args.list_rules:
+        for rule in active_rules():
+            print("%s  %s" % (rule.rule_id, rule.summary))
+        return 0
+    selected = None
+    if args.select:
+        selected = [rule.strip() for rule in args.select.split(",") if rule.strip()]
+    findings = lint_paths(args.paths, rules=selected)
+    print(render(findings, args.format))
+    return 1 if findings else 0
+
+
 def _cmd_phases(args) -> int:
     from ..config import haswell_e5_2650l_v3
     from ..phases import (
@@ -204,6 +241,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_pair(args)
         if args.command == "phases":
             return _cmd_phases(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1

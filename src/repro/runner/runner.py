@@ -13,6 +13,10 @@ A pair that fails — a :class:`~repro.errors.CollectionError` in strict
 mode, or any unexpected exception — never aborts the sweep: it gets one
 bounded retry (in the parent process, so a broken pool cannot take the
 sweep down with it) and then yields a structured :class:`PairFailure`.
+Every report additionally passes the counter-consistency gate
+(:meth:`~repro.perf.report.CounterReport.require_valid`): inconsistent
+counters from a worker become a ``PairFailure``, and inconsistent cache
+entries are re-simulated instead of served.
 Every run returns a :class:`RunManifest` recording per-pair wall time,
 cache hit/miss counts, worker count, and failures.
 """
@@ -298,9 +302,15 @@ class SuiteRunner:
                 values = self.cache.load(key)
                 if values is not None:
                     try:
-                        reports[name] = CounterReport(profile, values)
+                        # require_valid covers both stale layouts (unknown
+                        # counters -> CounterError) and corrupt entries
+                        # (inconsistent counters); either way the pair is
+                        # re-simulated rather than served poisoned.
+                        reports[name] = CounterReport(
+                            profile, values
+                        ).require_valid()
                     except CounterError:
-                        values = None  # stale layout: treat as a miss
+                        values = None
                 if values is not None:
                     hits += 1
                     finish(
@@ -369,11 +379,22 @@ class SuiteRunner:
         seconds: float,
         attempts: int,
         reports: Dict[str, CounterReport],
+        failures: List[PairFailure],
         keys: Dict[str, str],
         finish: Callable[[PairRecord], None],
     ) -> None:
         name = profile.pair_name
-        reports[name] = CounterReport(profile, values)
+        try:
+            # Counter-consistency gate: a worker that returns inconsistent
+            # counters (or a transport that mangled them) yields a
+            # structured failure here, never a poisoned report — and never
+            # a cache entry.
+            reports[name] = CounterReport(profile, values).require_valid()
+        except CounterError as error:
+            error_type = type(error).__name__
+            failures.append(PairFailure(name, error_type, str(error), attempts))
+            finish(PairRecord(name, seconds, False, attempts, error_type))
+            return
         if self.cache is not None:
             try:
                 self.cache.store(keys[name], name, values)
@@ -411,7 +432,8 @@ class SuiteRunner:
                 continue
             seconds += time.perf_counter() - attempt_started
             self._record_success(
-                profile, dict(report), seconds, attempts, reports, keys, finish
+                profile, dict(report), seconds, attempts, reports, failures,
+                keys, finish,
             )
             return
         error_type, message = last_error or ("Error", "unknown failure")
@@ -449,7 +471,8 @@ class SuiteRunner:
                     seconds = 0.0
                 if status == "ok":
                     self._record_success(
-                        profile, payload, seconds, 1, reports, keys, finish
+                        profile, payload, seconds, 1, reports, failures,
+                        keys, finish,
                     )
                 else:
                     self._run_with_retries(

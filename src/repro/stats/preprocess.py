@@ -27,7 +27,9 @@ class Standardizer:
         stds = matrix.std(axis=0, ddof=1)
         # Constant columns carry no information; mapping them to 0 (rather
         # than dividing by 0) keeps them inert in downstream analysis.
-        stds[stds == 0.0] = 1.0
+        # std is non-negative, so <= 0 is the exact-zero guard without a
+        # float equality.
+        stds[stds <= 0.0] = 1.0
         self.stds_ = stds
         return self
 

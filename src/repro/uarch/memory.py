@@ -77,8 +77,12 @@ class FootprintTracker:
         )
         scale = nominal_mem_ops / self._mem_ops_seen
         rss = self._touched_pages * self.pages_per_touch * PAGE_SIZE * scale
+        # The first-touch estimate is a scaled binomial sample, so its
+        # noise can overshoot the reserved address space; a process can
+        # never have RSS above VSZ, so cap the estimate there.
+        vsz = self.profile.memory.vsz_bytes
         return FootprintEstimate(
-            rss_bytes=rss,
-            vsz_bytes=self.profile.memory.vsz_bytes,
+            rss_bytes=min(rss, vsz),
+            vsz_bytes=vsz,
             touched_pages_sample=self._touched_pages,
         )

@@ -1,0 +1,194 @@
+"""Counter-consistency validation: unit checks for every invariant plus a
+hypothesis property over randomized workload profiles."""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CounterValidationError
+from repro.perf import counters as C
+from repro.perf.report import CounterReport
+from repro.perf.session import PerfSession
+from repro.workloads.profile import (
+    BranchBehavior,
+    BranchMix,
+    InputSize,
+    InstructionMix,
+    MemoryBehavior,
+    MiniSuite,
+    WorkloadProfile,
+)
+
+OPS = 4_000
+
+
+@pytest.fixture(scope="module")
+def valid_values(mcf_ref):
+    report = PerfSession(sample_ops=OPS).run(mcf_ref)
+    return dict(report)
+
+
+def report_with(profile, values, **overrides):
+    merged = dict(values)
+    merged.update(overrides)
+    return CounterReport(profile, merged)
+
+
+class TestValidate:
+    def test_session_report_is_consistent(self, mcf_ref, valid_values):
+        assert CounterReport(mcf_ref, valid_values).validate() == ()
+
+    def test_negative_counter_detected(self, mcf_ref, valid_values):
+        report = report_with(mcf_ref, valid_values, **{C.MEM_STORES: -1.0})
+        assert any("negative" in issue for issue in report.validate())
+
+    def test_non_finite_counter_detected(self, mcf_ref, valid_values):
+        report = report_with(
+            mcf_ref, valid_values, **{C.REF_CYCLES: float("nan")}
+        )
+        assert any("not finite" in issue for issue in report.validate())
+
+    def test_l1_split_must_sum_to_loads(self, mcf_ref, valid_values):
+        bad = valid_values[C.L1_MISS] * 2 + 1e6
+        report = report_with(mcf_ref, valid_values, **{C.L1_MISS: bad})
+        issues = report.validate()
+        assert any("L1 hit+miss" in issue for issue in issues)
+
+    def test_l2_split_must_sum_to_l1_misses(self, mcf_ref, valid_values):
+        bad = valid_values[C.L2_HIT] + valid_values[C.L1_MISS]
+        report = report_with(mcf_ref, valid_values, **{C.L2_HIT: bad})
+        assert any("L2 hit+miss" in issue for issue in report.validate())
+
+    def test_branch_subtypes_must_sum_to_all_branches(
+        self, mcf_ref, valid_values
+    ):
+        bad = valid_values[C.BR_CONDITIONAL] * 1.5 + 1e6
+        report = report_with(mcf_ref, valid_values, **{C.BR_CONDITIONAL: bad})
+        assert any("subtypes" in issue for issue in report.validate())
+
+    def test_mispredicts_cannot_exceed_branches(self, mcf_ref, valid_values):
+        bad = valid_values[C.BR_ALL] * 2
+        report = report_with(mcf_ref, valid_values, **{C.BR_MISP: bad})
+        issues = report.validate()
+        assert any("exceed all branches" in issue for issue in issues)
+        assert any("mispredict rate" in issue for issue in issues)
+
+    def test_classified_uops_cannot_exceed_retired(self, mcf_ref, valid_values):
+        bad = valid_values[C.UOPS_RETIRED] / 1e3
+        report = report_with(mcf_ref, valid_values, **{C.UOPS_RETIRED: bad})
+        assert any("retired uops" in issue for issue in report.validate())
+
+    def test_rss_cannot_exceed_vsz(self, mcf_ref, valid_values):
+        bad = valid_values[C.PS_VSZ] * 2
+        report = report_with(mcf_ref, valid_values, **{C.PS_RSS: bad})
+        assert any("RSS" in issue for issue in report.validate())
+
+    def test_zero_cycles_with_instructions_detected(self, mcf_ref, valid_values):
+        report = report_with(mcf_ref, valid_values, **{C.REF_CYCLES: 0.0})
+        assert any("zero cycles" in issue for issue in report.validate())
+
+    def test_partial_reports_validate_their_subset(self, mcf_ref):
+        report = CounterReport(
+            mcf_ref, {C.INST_RETIRED: 100.0, C.REF_CYCLES: 80.0}
+        )
+        assert report.validate() == ()
+        report = CounterReport(mcf_ref, {C.PS_RSS: 2.0, C.PS_VSZ: 1.0})
+        assert report.validate() != ()
+
+    def test_rounding_ulp_drift_is_tolerated(self, mcf_ref, valid_values):
+        nudged = dict(valid_values)
+        nudged[C.L1_HIT] = math.nextafter(
+            nudged[C.L1_HIT], float("inf")
+        )
+        assert CounterReport(mcf_ref, nudged).validate() == ()
+
+
+class TestRequireValid:
+    def test_returns_self_when_consistent(self, mcf_ref, valid_values):
+        report = CounterReport(mcf_ref, valid_values)
+        assert report.require_valid() is report
+
+    def test_raises_structured_error(self, mcf_ref, valid_values):
+        report = report_with(mcf_ref, valid_values, **{C.PS_RSS: -5.0})
+        with pytest.raises(CounterValidationError) as excinfo:
+            report.require_valid()
+        error = excinfo.value
+        assert error.pair_name == mcf_ref.pair_name
+        assert error.violations
+        assert mcf_ref.pair_name in str(error)
+
+    def test_error_survives_pickling(self, mcf_ref):
+        error = CounterValidationError(
+            mcf_ref.pair_name, ("RSS (2) exceeds VSZ (1)",)
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.pair_name == error.pair_name
+        assert clone.violations == error.violations
+        assert str(clone) == str(error)
+
+
+# ---------------------------------------------------------------------------
+# Property: any well-formed WorkloadProfile yields a consistent report.
+# ---------------------------------------------------------------------------
+
+_session = PerfSession(sample_ops=OPS)
+
+
+@st.composite
+def workload_profiles(draw):
+    # Every real pair has loads; the footprint tracker (reasonably)
+    # refuses traces with zero memory operations.
+    load = draw(st.floats(0.02, 0.5))
+    store = draw(st.floats(0.0, 0.3))
+    branch = draw(st.floats(0.001, 0.3))
+    total = load + store + branch
+    if total > 0.95:
+        scale = 0.95 / total
+        load, store, branch = load * scale, store * scale, branch * scale
+
+    raw = draw(
+        st.lists(st.floats(0.05, 1.0), min_size=5, max_size=5)
+    )
+    norm = sum(raw)
+    mix = BranchMix(*(value / norm for value in raw))
+
+    rss = draw(st.floats(1e6, 1e9))
+    memory = MemoryBehavior(
+        target_l1_miss_rate=draw(st.floats(0.0, 1.0)),
+        target_l2_miss_rate=draw(st.floats(0.0, 1.0)),
+        target_l3_miss_rate=draw(st.floats(0.0, 1.0)),
+        rss_bytes=rss,
+        vsz_bytes=rss * draw(st.floats(1.0, 4.0)),
+    )
+    return WorkloadProfile(
+        benchmark="999.hypo_r",
+        input_name=draw(st.sampled_from(["", "in1", "in2"])),
+        suite=draw(st.sampled_from(list(MiniSuite))),
+        input_size=draw(st.sampled_from(list(InputSize))),
+        instructions=draw(st.floats(1e9, 1e13)),
+        target_ipc=draw(st.floats(0.3, 3.0)),
+        exec_time_seconds=draw(st.floats(1.0, 1e4)),
+        threads=draw(st.integers(1, 4)),
+        mix=InstructionMix(load, store, branch, mix),
+        memory=memory,
+        branches=BranchBehavior(
+            target_mispredict_rate=draw(st.floats(0.0, 0.2)),
+            taken_bias=draw(st.floats(0.5, 1.0)),
+        ),
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(profile=workload_profiles())
+def test_session_reports_validate_for_random_profiles(profile):
+    # PerfSession.run itself calls require_valid(); asserting on validate()
+    # keeps the failure message structured if the gate ever regresses.
+    report = _session.run(profile)
+    assert report.validate() == ()

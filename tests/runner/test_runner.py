@@ -225,3 +225,77 @@ class TestCharacterizerIntegration:
             Characterizer(
                 session=session, runner=make_runner(tmp_path, config=config)
             )
+
+
+class TestCounterConsistencyGate:
+    """Inconsistent counters become structured failures, never reports."""
+
+    def corrupt(self, values):
+        from repro.perf import counters as C
+
+        bad = dict(values)
+        bad[C.BR_MISP] = bad[C.BR_ALL] * 3 + 1e6  # mispredicts > branches
+        return bad
+
+    def test_session_refuses_to_emit_inconsistent_report(self, mcf_ref):
+        from repro.errors import CounterValidationError
+        from repro.perf.report import CounterReport
+
+        report = PerfSession(sample_ops=OPS).run(mcf_ref)
+        with pytest.raises(CounterValidationError):
+            CounterReport(mcf_ref, self.corrupt(dict(report))).require_valid()
+
+    def test_inconsistent_report_becomes_pair_failure(
+        self, tmp_path, mcf_ref, monkeypatch
+    ):
+        from repro.perf.report import CounterReport
+
+        runner = make_runner(tmp_path, retries=0)
+        reference = dict(PerfSession(sample_ops=OPS).run(mcf_ref))
+        bad = self.corrupt(reference)
+
+        def run_bad(profile, strict_errors=False):
+            # Bypass the session-level gate to prove the runner has its own.
+            return CounterReport(profile, bad)
+
+        monkeypatch.setattr(runner._session, "run", run_bad)
+        result = runner.run([mcf_ref])
+
+        assert result.reports == {}
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.pair_name == mcf_ref.pair_name
+        assert failure.error_type == "CounterValidationError"
+        assert "exceed all branches" in failure.message
+        record = result.manifest.records[0]
+        assert record.failed and record.error == "CounterValidationError"
+
+    def test_inconsistent_report_is_never_cached(
+        self, tmp_path, mcf_ref, monkeypatch
+    ):
+        from repro.perf.report import CounterReport
+
+        runner = make_runner(tmp_path, retries=0)
+        bad = self.corrupt(dict(PerfSession(sample_ops=OPS).run(mcf_ref)))
+        monkeypatch.setattr(
+            runner._session, "run",
+            lambda profile, strict_errors=False: CounterReport(profile, bad),
+        )
+        runner.run([mcf_ref])
+        assert ResultCache(tmp_path / "cache").entry_count() == 0
+
+    def test_inconsistent_cache_entry_is_resimulated(self, tmp_path, mcf_ref):
+        runner = make_runner(tmp_path)
+        first = runner.run([mcf_ref])
+        assert first.manifest.cache_misses == 1
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key(runner.config, mcf_ref, OPS, runner.warmup_fraction)
+        poisoned = self.corrupt(cache.load(key))
+        cache.store(key, mcf_ref.pair_name, poisoned)
+
+        rerun = make_runner(tmp_path).run([mcf_ref])
+        assert rerun.manifest.cache_hits == 0
+        assert rerun.failures == ()
+        report = rerun.report(mcf_ref.pair_name)
+        assert report.validate() == ()
