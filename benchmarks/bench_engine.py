@@ -1,0 +1,93 @@
+"""Bench: scalar vs vector trace-execution engine A/B sweep.
+
+Times :meth:`repro.uarch.SimulatedCore.run` under both engines on the
+same traces (parity asserted first — a timing that ships without exact
+agreement is worthless), prints the per-pair speedups, and optionally
+checks them against / refreshes the committed ``BENCH_engine.json``
+baseline.  Only speedup *ratios* are compared across machines.
+
+Usage::
+
+    python benchmarks/bench_engine.py                     # full sweep
+    python benchmarks/bench_engine.py --quick             # CI smoke subset
+    python benchmarks/bench_engine.py --check BENCH_engine.json
+    python benchmarks/bench_engine.py --update BENCH_engine.json
+
+Exit status is 1 when ``--check`` finds a regression (any pair's speedup
+more than the baseline tolerance below its recorded ratio, or the median
+under the 10x floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.perf.enginebench import (
+    DEFAULT_REPEATS,
+    QUICK_REPEATS,
+    check,
+    load_baseline,
+    measure,
+    render,
+    write_baseline,
+)
+from repro.perf.session import DEFAULT_SAMPLE_OPS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: best-of-%d timing instead of best-of-%d "
+             "(same pair list — the gate is the cross-pair median)"
+             % (QUICK_REPEATS, DEFAULT_REPEATS),
+    )
+    parser.add_argument(
+        "--sample-ops", type=int, default=DEFAULT_SAMPLE_OPS,
+        help="trace length per pair (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per engine, best-of "
+             "(default %d, or %d with --quick)"
+             % (DEFAULT_REPEATS, QUICK_REPEATS),
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare speedups against this baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", metavar="BASELINE", default=None,
+        help="write the measurement to this baseline file",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    try:
+        current = measure(sample_ops=args.sample_ops, repeats=repeats)
+        baseline = load_baseline(args.check) if args.check else None
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    print(render(current, baseline))
+
+    if args.update:
+        path = write_baseline(args.update, current)
+        print("wrote %s" % path)
+    if baseline is not None:
+        failures = check(current, baseline)
+        for line in failures:
+            print("REGRESSION: %s" % line, file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed against %s" % args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ class PerfSession:
         config: Optional[SystemConfig] = None,
         sample_ops: int = DEFAULT_SAMPLE_OPS,
         warmup_fraction: float = 0.15,
+        engine: str = "auto",
     ):
         if sample_ops <= 0:
             raise SimulationError("sample_ops must be positive")
@@ -47,8 +48,14 @@ class PerfSession:
         self.config = config or haswell_e5_2650l_v3()
         self.sample_ops = sample_ops
         self.warmup_fraction = warmup_fraction
+        self.engine = engine
         self._generator = TraceGenerator(self.config)
-        self._core = SimulatedCore(self.config)
+        self._core = SimulatedCore(self.config, engine=engine)
+        #: What the engine knob resolves to at the *config* level (traces
+        #: may still force a per-run scalar fallback under "auto").
+        #: Resolved eagerly so asking for the vector engine on an
+        #: unsupported configuration fails at construction, not mid-sweep.
+        self.resolved_engine = self._core.resolve_engine()
 
     def run(
         self,

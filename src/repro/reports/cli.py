@@ -7,6 +7,7 @@ Subcommands::
     repro run all                   # run every table and figure
     repro pair 505.mcf_r            # characterize one application (ref)
     repro lint src/                 # run the repo's static-analysis pass
+    repro bench-diff                # scalar-vs-vector engine benchmark
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from .. import __version__
 from ..errors import ReproError, SimulationError
 from ..perf.session import DEFAULT_SAMPLE_OPS
 from ..runner import SuiteRunner
+from ..uarch.core import ENGINES
 from ..workloads.profile import InputSize
 from ..workloads.spec2017 import cpu2017
 from .experiments import (
@@ -61,6 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="auto",
+        help="trace-execution engine: the op-loop reference ('scalar'), "
+             "the batched numpy fast path ('vector'), or pick the fast "
+             "path whenever it is exact ('auto', default)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +120,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="benchmark scalar vs vector engines against the committed "
+             "baseline (and optionally refresh it)",
+    )
+    bench_diff.add_argument(
+        "--baseline", metavar="PATH", default="BENCH_engine.json",
+        help="baseline file to compare against (default %(default)s)",
+    )
+    bench_diff.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer timing repeats per engine",
+    )
+    bench_diff.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per engine, best-of (default 3, 2 with "
+             "--quick)",
+    )
+    bench_diff.add_argument(
+        "--update", action="store_true",
+        help="write the fresh measurement back to the baseline file",
+    )
     return parser
 
 
@@ -125,6 +158,7 @@ def _make_runner(args, workers: Optional[int] = None) -> SuiteRunner:
         workers=workers if workers is not None else args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
 
 
@@ -193,6 +227,42 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench_diff(args) -> int:
+    import os
+
+    from ..perf import enginebench
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = (
+            enginebench.QUICK_REPEATS if args.quick
+            else enginebench.DEFAULT_REPEATS
+        )
+    current = enginebench.measure(
+        sample_ops=args.sample_ops, repeats=repeats
+    )
+    baseline = None
+    if os.path.exists(args.baseline):
+        baseline = enginebench.load_baseline(args.baseline)
+    print(enginebench.render(current, baseline))
+    if args.update:
+        print("wrote %s" % enginebench.write_baseline(args.baseline, current))
+        return 0
+    if baseline is None:
+        print(
+            "no baseline at %s (use --update to create it)" % args.baseline,
+            file=sys.stderr,
+        )
+        return 1
+    failures = enginebench.check(current, baseline)
+    for line in failures:
+        print("REGRESSION: %s" % line, file=sys.stderr)
+    if failures:
+        return 1
+    print("check passed against %s" % args.baseline)
+    return 0
+
+
 def _cmd_phases(args) -> int:
     from ..config import haswell_e5_2650l_v3
     from ..phases import (
@@ -243,6 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_phases(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "bench-diff":
+            return _cmd_bench_diff(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1

@@ -7,7 +7,8 @@ content hash over everything that can change those values:
 * the full :class:`~repro.config.SystemConfig` (caches, pipeline,
   predictor, frequency — the simulated substrate),
 * the full :class:`~repro.workloads.profile.WorkloadProfile`,
-* the sample parameters (``sample_ops``, ``warmup_fraction``),
+* the sample parameters (``sample_ops``, ``warmup_fraction``) and the
+  resolved execution engine,
 * the package version and the cache schema version (code invalidation).
 
 Because the simulation is deterministic, a cache hit is bitwise identical
@@ -87,8 +88,23 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "ResultCache(%r)" % str(self.directory)
 
-    def key(self, config, profile, sample_ops: int, warmup_fraction: float) -> str:
-        """The cache key of one (config, profile, sample params) tuple."""
+    def key(
+        self,
+        config,
+        profile,
+        sample_ops: int,
+        warmup_fraction: float,
+        engine: Optional[str] = None,
+    ) -> str:
+        """The cache key of one (config, profile, sample params) tuple.
+
+        ``engine`` is the *resolved* execution engine ("scalar" or
+        "vector"), not the user-facing knob: both engines are parity-
+        checked but keyed separately so a regression in either can never
+        hide behind the other's cached entries.  ``None`` (legacy
+        callers) hashes like the pre-engine layout did not exist —
+        it participates in the hash as an explicit null.
+        """
         return content_hash(
             {
                 "schema": CACHE_SCHEMA,
@@ -97,6 +113,7 @@ class ResultCache:
                 "profile": profile,
                 "sample_ops": sample_ops,
                 "warmup_fraction": warmup_fraction,
+                "engine": engine,
             }
         )
 

@@ -54,10 +54,13 @@ ProgressCallback = Callable[[int, int, "PairRecord"], None]
 _WORKER_SESSION: Optional[PerfSession] = None
 
 
-def _init_worker(config, sample_ops: int, warmup_fraction: float) -> None:
+def _init_worker(
+    config, sample_ops: int, warmup_fraction: float, engine: str = "auto"
+) -> None:
     global _WORKER_SESSION
     _WORKER_SESSION = PerfSession(
-        config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction
+        config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction,
+        engine=engine,
     )
 
 
@@ -199,6 +202,8 @@ class SuiteRunner:
         retries: Bounded retry budget per failing pair.
         progress: Optional ``callback(done, total, record)`` invoked as
             each pair finishes.
+        engine: Trace-execution engine knob passed to every session —
+            ``"scalar"``, ``"vector"``, or ``"auto"`` (default).
     """
 
     def __init__(
@@ -212,15 +217,18 @@ class SuiteRunner:
         use_cache: bool = True,
         retries: int = 1,
         progress: Optional[ProgressCallback] = None,
+        engine: str = "auto",
     ):
         # The local session validates the sample parameters eagerly and
         # serves inline runs plus in-parent retries.
         self._session = PerfSession(
-            config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction
+            config=config, sample_ops=sample_ops,
+            warmup_fraction=warmup_fraction, engine=engine,
         )
         self.config = self._session.config
         self.sample_ops = sample_ops
         self.warmup_fraction = warmup_fraction
+        self.engine = engine
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -243,6 +251,7 @@ class SuiteRunner:
             config=self.config,
             sample_ops=self.sample_ops,
             warmup_fraction=self.warmup_fraction,
+            engine=self.engine,
         )
 
     # -- public entry points ----------------------------------------------
@@ -295,8 +304,12 @@ class SuiteRunner:
                 continue
             if self.cache is not None:
                 lookup_started = time.perf_counter()
+                # Keyed on the *resolved* engine so "auto" shares entries
+                # with whichever concrete engine it resolves to.
                 key = self.cache.key(
-                    self.config, profile, self.sample_ops, self.warmup_fraction
+                    self.config, profile, self.sample_ops,
+                    self.warmup_fraction,
+                    engine=self._session.resolved_engine,
                 )
                 keys[name] = key
                 values = self.cache.load(key)
@@ -453,7 +466,10 @@ class SuiteRunner:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.config, self.sample_ops, self.warmup_fraction),
+            initargs=(
+                self.config, self.sample_ops, self.warmup_fraction,
+                self.engine,
+            ),
         ) as pool:
             futures = {
                 pool.submit(_run_pair, profile, strict_errors): profile

@@ -20,7 +20,8 @@ from .branch import (
 )
 from .pipeline import CPIBreakdown, PipelineModel
 from .memory import FootprintEstimate, FootprintTracker
-from .core import CoreResult, SimulatedCore
+from .core import ENGINES, CoreResult, SimulatedCore
+from .vector import EngineMeasurement, execute_vector, unsupported_reason
 from .cycle_core import CycleResult, InOrderCore
 from .replacement import make_policy
 from .prefetch import NextLinePrefetcher, StridePrefetcher
@@ -39,6 +40,10 @@ __all__ = [
     "CoreResult",
     "CPIBreakdown",
     "CycleResult",
+    "ENGINES",
+    "EngineMeasurement",
+    "execute_vector",
+    "unsupported_reason",
     "InOrderCore",
     "FootprintEstimate",
     "FootprintTracker",

@@ -3,16 +3,24 @@
 Models one level of the hierarchy: tag lookup, fill, and eviction under a
 pluggable replacement policy.  Addresses are byte addresses; the cache works
 on line granularity internally.
+
+The tag store is one flat array (``ways`` slots per set, ``-1`` meaning
+invalid) rather than a per-set dict plus a parallel list of ways: one
+structure serves lookup, fill, and eviction, and pickled cores carry a
+single compact buffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..config import CacheConfig
 from ..errors import SimulationError
 from .replacement import make_policy
+
+#: Tag-store sentinel for an invalid (empty) way.  Real tags are always
+#: non-negative because negative addresses are rejected.
+EMPTY = -1
 
 
 @dataclass
@@ -62,10 +70,9 @@ class Cache:
         policy = make_policy(config.replacement)
         self._policy = policy
         ways = config.associativity
-        self._tags: List[List[Optional[int]]] = [
-            [None] * ways for _ in range(config.num_sets)
-        ]
-        self._lookup: List[dict] = [dict() for _ in range(config.num_sets)]
+        self._ways = ways
+        # Flat tag store: set s occupies slots [s*ways, (s+1)*ways).
+        self._tags = [EMPTY] * (config.num_sets * ways)
         self._meta = [policy.make_set(ways) for _ in range(config.num_sets)]
         self.stats = CacheStats()
 
@@ -73,21 +80,29 @@ class Cache:
         line = addr >> self._offset_bits
         return line & self._index_mask, line >> (self.config.num_sets.bit_length() - 1)
 
+    def _find_way(self, base: int, tag: int) -> int:
+        """Way holding ``tag`` in the set starting at ``base``, or -1."""
+        tags = self._tags
+        for way in range(self._ways):
+            if tags[base + way] == tag:
+                return way
+        return -1
+
     def probe(self, addr: int) -> bool:
         """Check residency without updating state or counters."""
         set_index, tag = self._split(addr)
-        return tag in self._lookup[set_index]
+        return self._find_way(set_index * self._ways, tag) >= 0
 
     def access(self, addr: int, is_store: bool = False) -> bool:
         """Access one address; fill on miss.  Returns True on hit."""
         if addr < 0:
             raise SimulationError("negative address %d" % addr)
         set_index, tag = self._split(addr)
-        lookup = self._lookup[set_index]
+        base = set_index * self._ways
         meta = self._meta[set_index]
-        way = lookup.get(tag)
+        way = self._find_way(base, tag)
         stats = self.stats
-        if way is not None:
+        if way >= 0:
             self._policy.on_access(meta, way)
             if is_store:
                 stats.store_hits += 1
@@ -100,29 +115,25 @@ class Cache:
                 return False
         else:
             stats.load_misses += 1
-        tags = self._tags[set_index]
-        try:
-            way = tags.index(None)
-        except ValueError:
+        way = self._find_way(base, EMPTY)
+        if way < 0:
             way = self._policy.victim(meta)
-            del lookup[tags[way]]
-        tags[way] = tag
-        lookup[tag] = way
+        self._tags[base + way] = tag
         self._policy.on_access(meta, way)
         return False
 
     def invalidate(self, addr: int) -> bool:
         """Drop a line if resident.  Returns True if it was present."""
         set_index, tag = self._split(addr)
-        way = self._lookup[set_index].pop(tag, None)
-        if way is None:
+        way = self._find_way(set_index * self._ways, tag)
+        if way < 0:
             return False
-        self._tags[set_index][way] = None
+        self._tags[set_index * self._ways + way] = EMPTY
         return True
 
     def resident_lines(self) -> int:
         """Number of valid lines currently held."""
-        return sum(len(lookup) for lookup in self._lookup)
+        return sum(1 for tag in self._tags if tag != EMPTY)
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

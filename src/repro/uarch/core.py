@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..config import SystemConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..workloads.calibrate import (
     INDIRECT_JUMP_MISPREDICT,
     PipelineParams,
@@ -35,10 +35,17 @@ from ..workloads.generator import (
     KIND_STORE,
     SyntheticTrace,
 )
+from . import vector
 from .branch import BranchPredictor, PredictorStats, make_predictor
 from .hierarchy import HierarchyStats, MemoryHierarchy
 from .memory import FootprintEstimate, FootprintTracker
 from .pipeline import CPIBreakdown, PipelineModel
+from .vector import EngineMeasurement
+
+#: Valid values of the engine knob.  "scalar" is the op-loop reference
+#: implementation, "vector" the batched numpy engine, "auto" picks vector
+#: whenever the config/trace combination supports it exactly.
+ENGINES = ("scalar", "vector", "auto")
 
 
 @dataclass(frozen=True)
@@ -113,26 +120,105 @@ class CoreResult:
 
 
 class SimulatedCore:
-    """Executes synthetic traces against one system configuration."""
+    """Executes synthetic traces against one system configuration.
+
+    Args:
+        config: The simulated system.
+        predictor: Optional externally built branch predictor.  An
+            override carries its own (possibly pre-trained) state, which
+            only the scalar engine can replay.
+        engine: Default execution engine — ``"scalar"``, ``"vector"``,
+            or ``"auto"`` (vector whenever supported, scalar otherwise).
+    """
 
     def __init__(self, config: SystemConfig,
-                 predictor: Optional[BranchPredictor] = None):
+                 predictor: Optional[BranchPredictor] = None,
+                 engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ConfigError(
+                "unknown engine %r (valid: %s)" % (engine, ", ".join(ENGINES))
+            )
         self.config = config
+        self.engine = engine
         self._predictor_override = predictor
         self._pipeline = PipelineModel(config)
+
+    def vector_unsupported_reason(
+        self, trace: Optional[SyntheticTrace] = None
+    ) -> Optional[str]:
+        """Why the vector engine cannot be used here (None if it can)."""
+        if self._predictor_override is not None:
+            return (
+                "an externally supplied predictor instance carries state "
+                "only the scalar engine can replay"
+            )
+        return vector.unsupported_reason(self.config, trace)
+
+    def resolve_engine(
+        self,
+        trace: Optional[SyntheticTrace] = None,
+        engine: Optional[str] = None,
+    ) -> str:
+        """The concrete engine a run would use: "scalar" or "vector".
+
+        ``engine=None`` resolves the core's default.  Explicitly asking
+        for the vector engine when it is unsupported raises, naming the
+        precondition that failed; ``"auto"`` silently falls back.
+        """
+        engine = engine or self.engine
+        if engine not in ENGINES:
+            raise ConfigError(
+                "unknown engine %r (valid: %s)" % (engine, ", ".join(ENGINES))
+            )
+        if engine == "scalar":
+            return "scalar"
+        reason = self.vector_unsupported_reason(trace)
+        if engine == "vector":
+            if reason is not None:
+                raise SimulationError("vector engine unsupported: " + reason)
+            return "vector"
+        return "scalar" if reason is not None else "vector"
 
     def run(
         self,
         trace: SyntheticTrace,
         params: Optional[PipelineParams] = None,
         warmup_fraction: float = 0.15,
+        engine: Optional[str] = None,
     ) -> CoreResult:
         """Simulate one trace and return the measured result."""
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup_fraction must be in [0, 1)")
         if params is None:
             params = solve_pipeline_params(trace.profile, self.config)
+        engine = engine or self.engine
+        if engine not in ENGINES:
+            raise ConfigError(
+                "unknown engine %r (valid: %s)" % (engine, ", ".join(ENGINES))
+            )
+        hit_levels = None
+        if engine != "scalar":
+            reason = self.vector_unsupported_reason()
+            if reason is None:
+                reason, hit_levels = vector.analyze_trace(self.config, trace)
+            if reason is not None:
+                if engine == "vector":
+                    raise SimulationError(
+                        "vector engine unsupported: " + reason
+                    )
+                hit_levels = None  # auto: fall back to the op loop
+        if hit_levels is not None:
+            measurement = vector.execute_vector(
+                self.config, trace, warmup_fraction, hit_levels
+            )
+        else:
+            measurement = self._execute_scalar(trace, warmup_fraction)
+        return self._compose(trace, params, warmup_fraction, measurement)
 
+    def _execute_scalar(
+        self, trace: SyntheticTrace, warmup_fraction: float
+    ) -> EngineMeasurement:
+        """Reference implementation: one trip through the op loops."""
         hierarchy = MemoryHierarchy(self.config)
         predictor = self._predictor_override or make_predictor(
             self.config.branch_predictor
@@ -178,10 +264,29 @@ class SimulatedCore:
                 predictor.reset_stats()
             observe(site, taken)
 
-        # ---- indirect jumps --------------------------------------------------
+        return EngineMeasurement(
+            hierarchy=hierarchy.stats,
+            predictor=predictor.stats,
+            window_conditionals=len(sites) - cond_warmup,
+            footprint=tracker.estimate(),
+        )
+
+    def _compose(
+        self,
+        trace: SyntheticTrace,
+        params: PipelineParams,
+        warmup_fraction: float,
+        measurement: EngineMeasurement,
+    ) -> CoreResult:
+        """Combine a measurement with the engine-independent pieces.
+
+        The indirect-jump draw and the CPI breakdown live here so both
+        engines share one code path and produce bit-identical floats.
+        """
         # Indirect-jump targets are not modeled per-address; they carry the
         # fixed mispredict probability from calibration, drawn
         # deterministically from the trace seed.
+        branch_mask = trace.kind == KIND_BRANCH
         n_indirect = int(np.count_nonzero(
             branch_mask & (trace.btype == BR_INDIRECT_JUMP)
         ))
@@ -192,10 +297,9 @@ class SimulatedCore:
             if rng.random() < INDIRECT_JUMP_MISPREDICT
         )
 
-        # ---- compose ----------------------------------------------------------
         n_branches_trace = int(np.count_nonzero(branch_mask))
         window_ops = trace.n_ops - int(trace.n_ops * warmup_fraction)
-        stats = hierarchy.stats
+        stats = measurement.hierarchy
         served = stats.load_served
         result = CoreResult(
             trace_ops=trace.n_ops,
@@ -204,15 +308,15 @@ class SimulatedCore:
             trace_branches=n_branches_trace,
             branch_subtypes=trace.branch_subtype_counts(),
             hierarchy=stats,
-            predictor=predictor.stats,
-            window_conditionals=len(sites) - cond_warmup,
-            window_conditional_mispredicts=predictor.stats.mispredictions,
+            predictor=measurement.predictor,
+            window_conditionals=measurement.window_conditionals,
+            window_conditional_mispredicts=measurement.predictor.mispredictions,
             window_indirect_jumps=indirect_window,
             window_indirect_mispredicts=indirect_misses,
             window_ops=window_ops,
             cpi=CPIBreakdown(base=params.base_cpi, memory=0.0, branch=0.0),
             params=params,
-            footprint=tracker.estimate(),
+            footprint=measurement.footprint,
         )
         # The CPI breakdown derives the window's branch-mispredict count
         # from the stream-weighted rate so it stays consistent with the

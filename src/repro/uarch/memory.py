@@ -60,6 +60,23 @@ class FootprintTracker:
         for flag in new_page_flags:
             self.on_memory_op(bool(flag))
 
+    def observe_counts(self, mem_ops: int, touched_pages: int) -> None:
+        """Bulk-observe a pre-counted stream (the vector engine's path).
+
+        Equivalent to ``mem_ops`` calls of :meth:`on_memory_op`, of which
+        ``touched_pages`` were first touches — except that the growth curve
+        carries no positions for bulk counts.
+        """
+        if mem_ops < 0 or touched_pages < 0:
+            raise SimulationError("bulk counts must be non-negative")
+        if touched_pages > mem_ops:
+            raise SimulationError(
+                "touched pages (%d) cannot exceed memory ops (%d)"
+                % (touched_pages, mem_ops)
+            )
+        self._mem_ops_seen += mem_ops
+        self._touched_pages += touched_pages
+
     @property
     def touched_pages(self) -> int:
         return self._touched_pages

@@ -1,0 +1,495 @@
+"""Vectorized trace-execution engine (numpy batch passes, no op loop).
+
+The scalar :class:`~repro.uarch.core.SimulatedCore` path walks the trace
+one micro-op at a time.  This module computes the *identical* measurement
+in a handful of array passes by exploiting two structural facts about
+generated traces:
+
+1. **Cache behavior is region-determined.**  The generator sweeps each
+   memory region cyclically over a fixed line set engineered to hit
+   exactly one level (see :mod:`repro.workloads.calibrate`).  Under a
+   deterministic, write-allocate replacement policy (LRU / FIFO /
+   tree-PLRU) and the core's warm-up priming, every post-priming access
+   of a *fitting* region hits and every access of a *thrashing* region
+   misses — so per-level counters reduce to one ``bincount`` over
+   ``(region, is_store)`` codes.  :func:`unsupported_reason` verifies the
+   preconditions (policy family, write-allocate, cyclic sweep order,
+   set-exclusive geometry, fit/thrash occupancy) per config and per
+   trace; anything violating them falls back to the scalar engine.
+
+2. **Predictor table indices are precomputable.**  Every predictor
+   family trains unconditionally on the outcome stream, so histories
+   (global or per-site) — and therefore table indices — depend only on
+   ``taken``, never on predictions.  Given the index stream, each 2-bit
+   saturating counter is a 4-state automaton whose per-access transition
+   is known up front; the exact state *before* each access is recovered
+   with a segmented prefix scan of transition-function compositions over
+   the index-sorted stream (O(n log n), bit-exact).
+
+The parity guarantee — identical integer counters, identical derived
+floats — is enforced by the test suite over every predictor family and
+replacement policy, and continuously by the A/B benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..workloads.generator import (
+    BR_CONDITIONAL,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    SyntheticTrace,
+)
+from .branch import PredictorStats, make_predictor
+from .cache import CacheStats
+from .hierarchy import HierarchyStats
+from .memory import FootprintEstimate, FootprintTracker
+
+#: Replacement policies whose steady-state behavior under a primed cyclic
+#: sweep is deterministic (all-hit for fitting regions, all-miss for
+#: thrashing ones).  "random" picks victims stochastically, so residency
+#: is history-dependent and only the scalar engine models it.
+SUPPORTED_REPLACEMENT = frozenset({"lru", "fifo", "plru"})
+
+#: Region ids in trace order of meaning: hot, warm, cool, dram.
+_N_REGIONS = 4
+
+#: Saturating-counter ceiling (2-bit counters count 0..3).
+_MAX_STATE = 3
+
+#: Initial counter state everywhere: weakly taken.
+_INIT_STATE = 2
+
+
+@dataclass(frozen=True)
+class EngineMeasurement:
+    """What one engine measured from one trace (pre-composition).
+
+    Both engines produce one of these; :meth:`SimulatedCore.run` composes
+    it with the (engine-independent) indirect-jump draw and pipeline
+    model, so derived floats are computed by one shared code path.
+    """
+
+    hierarchy: HierarchyStats
+    predictor: PredictorStats
+    window_conditionals: int
+    footprint: FootprintEstimate
+
+
+# ---------------------------------------------------------------------------
+# Support checks
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=64)
+def _config_reason(config: SystemConfig) -> Optional[str]:
+    """Config-level vector-support check (None when supported)."""
+    for level in config.cache_levels():
+        if level.replacement not in SUPPORTED_REPLACEMENT:
+            return (
+                "%s replacement %r is not deterministic under cyclic sweeps"
+                % (level.name, level.replacement)
+            )
+        if not level.write_allocate:
+            return (
+                "%s is write-around; store misses leave residency "
+                "history-dependent" % level.name
+            )
+        if level.replacement == "plru" and (
+            level.associativity & (level.associativity - 1)
+        ):
+            # The scalar engine rejects this too (tree-PLRU needs a
+            # perfect binary tree); fall back so it raises the real error.
+            return "%s: tree-PLRU with non-power-of-two ways" % level.name
+    return None
+
+
+def analyze_trace(config: SystemConfig, trace: SyntheticTrace):
+    """Resolve each region's analytic hit level, or explain why we can't.
+
+    Returns ``(reason, hit_levels)`` where exactly one side is None.
+    ``hit_levels`` maps region id -> the hierarchy level serving every one
+    of its post-priming accesses (1=L1, 2=L2, 3=L3, 4=memory).
+
+    A region *fits* a level when every cache set it touches holds at most
+    ``ways`` of its lines — after priming it then hits there forever.  It
+    *thrashes* a level when its whole (primed, cyclically swept) line set
+    shares one set with more lines than ways — then every access misses
+    and falls through.  Anything in between (or any cross-region set
+    sharing, which priming could turn into evictions) is unsupported.
+    """
+    kind = trace.kind
+    mem_idx = np.flatnonzero((kind == KIND_LOAD) | (kind == KIND_STORE))
+    hit_levels = np.full(_N_REGIONS, len(config.cache_levels()) + 1,
+                         dtype=np.int64)
+    if mem_idx.size == 0:
+        return None, hit_levels
+    addrs = trace.addr[mem_idx]
+    regions = trace.region[mem_idx]
+    if int(addrs.min()) < 0:
+        return "memory op with a sentinel address", None
+    if int(regions.max()) >= _N_REGIONS:
+        return "memory op with an unknown region id", None
+
+    region_lines = []
+    for region in range(_N_REGIONS):
+        accesses = addrs[regions == region]
+        lines = np.unique(accesses)
+        if accesses.size and not np.array_equal(
+            accesses, lines[np.arange(accesses.size) % lines.size]
+        ):
+            return ("region %d is not a cyclic sweep of its line set"
+                    % region), None
+        region_lines.append(lines)
+
+    for level_index, level in enumerate(config.cache_levels()):
+        offset_bits = level.line_size.bit_length() - 1
+        set_mask = level.num_sets - 1
+        ways = level.associativity
+        per_region_sets = [
+            (lines >> offset_bits) & set_mask for lines in region_lines
+        ]
+        # Set-exclusivity: priming pushes every line through every level,
+        # so two regions sharing a set could evict each other's lines.
+        combined = np.concatenate(
+            [np.unique(sets) for sets in per_region_sets]
+        )
+        if np.unique(combined).size != combined.size:
+            return "%s: two regions share a cache set" % level.name, None
+        for region in range(_N_REGIONS):
+            if hit_levels[region] <= level_index:
+                continue  # already resolved to an inner level
+            sets = per_region_sets[region]
+            if not sets.size:
+                continue
+            distinct, occupancy = np.unique(sets, return_counts=True)
+            if int(occupancy.max()) <= ways:
+                hit_levels[region] = level_index + 1
+            elif distinct.size != 1:
+                return (
+                    "%s: region %d neither fits nor thrashes a single set"
+                    % (level.name, region)
+                ), None
+            # else: single over-subscribed set -> all-miss, falls through.
+    return None, hit_levels
+
+
+def unsupported_reason(
+    config: SystemConfig, trace: Optional[SyntheticTrace] = None
+) -> Optional[str]:
+    """Why the vector engine cannot replay ``trace`` on ``config``.
+
+    Returns ``None`` when the vector engine is guaranteed to reproduce
+    the scalar engine's counters exactly.  Without a trace, only the
+    config-level preconditions are checked.
+    """
+    reason = _config_reason(config)
+    if reason is not None or trace is None:
+        return reason
+    reason, _ = analyze_trace(config, trace)
+    return reason
+
+
+# ---------------------------------------------------------------------------
+# Grouped 2-bit counter evaluation
+# ---------------------------------------------------------------------------
+
+class _KeyGroups:
+    """Sorted grouping of a table-index stream, reusable across scans.
+
+    Built once per distinct key array; multiple step streams (e.g. a
+    tournament's bimodal table and chooser table, both indexed by the
+    same masked site) then share the sort and the segment boundaries.
+    """
+
+    def __init__(self, keys: np.ndarray):
+        n = int(keys.shape[0])
+        self.n = n
+        # Stable sort groups equal keys while preserving time order
+        # inside each group — the order the automaton actually steps in.
+        # int32 keys halve the radix passes; every table index fits.
+        self.order = np.argsort(keys.astype(np.int32), kind="stable")
+        sorted_keys = keys[self.order]
+        new_group = np.empty(n, dtype=bool)
+        if n:
+            new_group[0] = True
+            new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        self.new_group = new_group
+        self.segment = np.cumsum(new_group) - 1
+
+    def counter_states(
+        self, steps: np.ndarray, init: int = _INIT_STATE
+    ) -> np.ndarray:
+        """Exact per-access saturating-counter states for one table.
+
+        Args:
+            steps: int array (n,) — the update each access applies to
+                its entry: +1 (strengthen), -1 (weaken), or 0 (leave
+                alone), all saturating at [0, _MAX_STATE].
+            init: state every entry starts in.
+
+        Returns:
+            int array (n,) — each entry's state *before* its access, in
+            original stream order; equivalent to a sequential replay.
+
+        A saturating step is the map ``s -> min(hi, max(lo, s + a))``,
+        and that family is closed under composition — composing two such
+        maps sums the shifts and narrows the clamp window.  The whole
+        group-prefix problem therefore reduces to a segmented
+        Hillis-Steele scan over three flat integer arrays (shift, low
+        clamp, high clamp): O(n log n) vector arithmetic, bit-exact.
+        """
+        n = self.n
+        if n == 0:
+            return np.empty(0, dtype=np.int32)
+        segment = self.segment
+        shift = steps[self.order].astype(np.int32)
+        low = np.zeros(n, dtype=np.int32)
+        high = np.full(n, _MAX_STATE, dtype=np.int32)
+
+        step = 1
+        while step < n:
+            same = segment[step:] == segment[:-step]
+            if not np.any(same):
+                # Segments are contiguous: no pair at this distance in
+                # one segment means none at any larger distance either.
+                break
+            # Compose prefix[i] (later window, g) after prefix[i-step]
+            # (earlier window, f): clamp_g(clamp_f(s + a_f) + a_g).
+            shift_f, low_f, high_f = shift[:-step], low[:-step], high[:-step]
+            shift_g, low_g, high_g = shift[step:], low[step:], high[step:]
+            shift_c = shift_f + shift_g
+            low_c = np.minimum(high_g, np.maximum(low_g, low_f + shift_g))
+            high_c = np.minimum(high_g, np.maximum(low_g, high_f + shift_g))
+            shift[step:] = np.where(same, shift_c, shift_g)
+            low[step:] = np.where(same, low_c, low_g)
+            high[step:] = np.where(same, high_c, high_g)
+            step *= 2
+
+        state_after = np.minimum(high, np.maximum(low, init + shift))
+        state_before = np.empty(n, dtype=np.int32)
+        state_before[1:] = state_after[:-1]
+        state_before[self.new_group] = init
+
+        out = np.empty(n, dtype=np.int32)
+        out[self.order] = state_before
+        return out
+
+
+def _grouped_counter_states(
+    keys: np.ndarray, steps: np.ndarray, init: int = _INIT_STATE
+) -> np.ndarray:
+    """One-shot :meth:`_KeyGroups.counter_states` for a fresh key array."""
+    return _KeyGroups(keys).counter_states(steps, init)
+
+
+def _taken_steps(taken: np.ndarray) -> np.ndarray:
+    """Saturating-counter updates of an always-training table."""
+    return np.where(taken, np.int32(1), np.int32(-1))
+
+
+def _counter_predictions(keys: np.ndarray, taken: np.ndarray) -> np.ndarray:
+    """Predicted directions of a table of 2-bit counters keyed by ``keys``
+    and trained up/down by ``taken``."""
+    return _grouped_counter_states(keys, _taken_steps(taken)) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Per-family index streams
+# ---------------------------------------------------------------------------
+
+def _global_history(taken: np.ndarray, history_mask: int) -> np.ndarray:
+    """The global-history register value before each access."""
+    n = int(taken.shape[0])
+    history = np.zeros(n, dtype=np.int64)
+    bits = taken.astype(np.int64)
+    history_bits = int(history_mask).bit_length()
+    for age in range(1, history_bits + 1):
+        if age >= n + 1:
+            break
+        # Bit (age-1) of the register is the outcome `age` accesses ago.
+        history[age:] |= bits[:-age] << (age - 1)
+    return history & history_mask
+
+
+def _gshare_indices(
+    sites: np.ndarray, taken: np.ndarray, mask: int, history_mask: int
+) -> np.ndarray:
+    """Exact gshare table indices (site spread XOR global history)."""
+    spread = (sites * np.int64(0x9E3779B1)) & mask
+    return (spread ^ _global_history(taken, history_mask)) & mask
+
+
+def _two_level_indices(
+    sites: np.ndarray, taken: np.ndarray, site_mask: int, history_mask: int
+) -> np.ndarray:
+    """Exact two-level pattern-table indices (per-site local history)."""
+    n = int(sites.shape[0])
+    slots = sites & site_mask
+    order = np.argsort(slots, kind="stable")
+    sorted_slots = slots[order]
+    bits = taken[order].astype(np.int64)
+
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_slots[1:] != sorted_slots[:-1]
+    segment = np.cumsum(new_group) - 1
+
+    history = np.zeros(n, dtype=np.int64)
+    history_bits = int(history_mask).bit_length()
+    for age in range(1, history_bits + 1):
+        if age >= n + 1:
+            break
+        same = segment[age:] == segment[:-age]
+        shifted = bits[:-age] << (age - 1)
+        history[age:][same] |= shifted[same]
+    history &= history_mask
+
+    out = np.empty(n, dtype=np.int64)
+    out[order] = history
+    return out
+
+
+def _conditional_predictions(
+    predictor_name: str, sites: np.ndarray, taken: np.ndarray
+) -> np.ndarray:
+    """Predicted direction for every conditional, per predictor family.
+
+    Table geometries come from a throwaway instance of the scalar
+    predictor so both engines always share one source of defaults.
+    """
+    proto = make_predictor(predictor_name)
+    if predictor_name == "static":
+        return np.ones(sites.shape[0], dtype=bool)
+    if predictor_name == "bimodal":
+        return _counter_predictions(sites & proto._mask, taken)
+    if predictor_name == "gshare":
+        indices = _gshare_indices(
+            sites, taken, proto._mask, proto._history_mask
+        )
+        return _counter_predictions(indices, taken)
+    if predictor_name == "two_level":
+        indices = _two_level_indices(
+            sites, taken, proto._site_mask, proto._history_mask
+        )
+        return _counter_predictions(indices, taken)
+    if predictor_name == "tournament":
+        # The bimodal table and the chooser share one index stream
+        # (site & mask with equal masks) — group once, scan twice.
+        site_groups = _KeyGroups(sites & proto._bimodal._mask)
+        bimodal = site_groups.counter_states(_taken_steps(taken)) >= 2
+        gshare = _counter_predictions(
+            _gshare_indices(
+                sites, taken, proto._gshare._mask, proto._gshare._history_mask
+            ),
+            taken,
+        )
+        bimodal_correct = bimodal == taken
+        gshare_correct = gshare == taken
+        # Chooser: 2-bit counter per site, trained only on disagreement.
+        steps = np.zeros(sites.shape[0], dtype=np.int32)
+        steps[gshare_correct & ~bimodal_correct] = 1
+        steps[bimodal_correct & ~gshare_correct] = -1
+        chooser = site_groups.counter_states(steps)
+        return np.where(chooser >= 2, gshare, bimodal)
+    raise SimulationError(
+        "vector engine has no model for predictor %r" % predictor_name
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def execute_vector(
+    config: SystemConfig,
+    trace: SyntheticTrace,
+    warmup_fraction: float,
+    hit_levels: Optional[np.ndarray] = None,
+) -> EngineMeasurement:
+    """Measure ``trace`` with batched array passes.
+
+    ``hit_levels`` is the per-region analysis from :func:`analyze_trace`
+    (recomputed when omitted).  Given a supported config/trace pair the
+    result is bit-identical to the scalar engine's measurement.
+    """
+    kind = trace.kind
+    if hit_levels is None:
+        reason, hit_levels = analyze_trace(config, trace)
+        if reason is None:
+            reason = _config_reason(config)
+        if reason is not None:
+            raise SimulationError("vector engine unsupported: " + reason)
+
+    # ---- memory stream: one bincount over (hit level, is_store) codes ---
+    mem_idx = np.flatnonzero((kind == KIND_LOAD) | (kind == KIND_STORE))
+    n_mem = int(mem_idx.size)
+    mem_warmup = int(n_mem * warmup_fraction)
+    window_levels = hit_levels[
+        trace.region[mem_idx[mem_warmup:]].astype(np.int64)
+    ]
+    window_stores = kind[mem_idx[mem_warmup:]] == KIND_STORE
+    codes = np.bincount(
+        (window_levels - 1) * 2 + window_stores, minlength=2 * _N_REGIONS
+    )
+    loads = [int(value) for value in codes[0::2]]
+    stores = [int(value) for value in codes[1::2]]
+    hierarchy = HierarchyStats(
+        l1=CacheStats(
+            load_hits=loads[0],
+            load_misses=loads[1] + loads[2] + loads[3],
+            store_hits=stores[0],
+            store_misses=stores[1] + stores[2] + stores[3],
+        ),
+        l2=CacheStats(
+            load_hits=loads[1],
+            load_misses=loads[2] + loads[3],
+            store_hits=stores[1],
+            store_misses=stores[2] + stores[3],
+        ),
+        l3=CacheStats(
+            load_hits=loads[2],
+            load_misses=loads[3],
+            store_hits=stores[2],
+            store_misses=stores[3],
+        ),
+        load_served=(loads[0], loads[1], loads[2], loads[3]),
+    )
+
+    # ---- footprint: pure reductions over the full memory stream ---------
+    tracker = FootprintTracker(trace.profile, trace.pages_per_touch)
+    tracker.observe_counts(
+        n_mem, int(np.count_nonzero(trace.new_page[mem_idx]))
+    )
+
+    # ---- conditional branches: grouped automaton evaluation -------------
+    cond_mask = (kind == KIND_BRANCH) & (trace.btype == BR_CONDITIONAL)
+    sites = trace.site[cond_mask].astype(np.int64)
+    taken = np.ascontiguousarray(trace.taken[cond_mask])
+    n_cond = int(sites.shape[0])
+    cond_warmup = min(
+        n_cond // 2, max(int(n_cond * warmup_fraction), 2048)
+    )
+    predictions = _conditional_predictions(
+        config.branch_predictor, sites, taken
+    )
+    mispredicted = predictions != taken
+    window_conditionals = n_cond - cond_warmup
+    predictor = PredictorStats(
+        predictions=window_conditionals,
+        mispredictions=int(np.count_nonzero(mispredicted[cond_warmup:])),
+    )
+
+    return EngineMeasurement(
+        hierarchy=hierarchy,
+        predictor=predictor,
+        window_conditionals=window_conditionals,
+        footprint=tracker.estimate(),
+    )

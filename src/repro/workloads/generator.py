@@ -315,9 +315,13 @@ class TraceGenerator:
                 ).astype(np.int32)
                 site[cond] = sites
                 base_direction = (sites & 1).astype(bool)
-                flips = rng.random(cond.size) < knobs.easy_flip
-                easy_outcome = base_direction ^ flips
-                hard_outcome = rng.random(cond.size) < 0.5
+                # One batched draw for both outcome streams.  PCG64 fills
+                # C-order, so row 0 is exactly the flip draw and row 1 the
+                # hard-outcome draw of the formerly separate calls —
+                # seed-for-seed identical, locked by the golden-trace test.
+                outcome_draws = rng.random((2, cond.size))
+                easy_outcome = base_direction ^ (outcome_draws[0] < knobs.easy_flip)
+                hard_outcome = outcome_draws[1] < 0.5
                 taken[cond] = np.where(hard_mask, hard_outcome, easy_outcome)
 
         return SyntheticTrace(

@@ -290,7 +290,10 @@ class TestCounterConsistencyGate:
         assert first.manifest.cache_misses == 1
 
         cache = ResultCache(tmp_path / "cache")
-        key = cache.key(runner.config, mcf_ref, OPS, runner.warmup_fraction)
+        key = cache.key(
+            runner.config, mcf_ref, OPS, runner.warmup_fraction,
+            engine=runner.make_session().resolved_engine,
+        )
         poisoned = self.corrupt(cache.load(key))
         cache.store(key, mcf_ref.pair_name, poisoned)
 
