@@ -29,9 +29,12 @@ from repro.perf.enginebench import (
     DEFAULT_REPEATS,
     QUICK_REPEATS,
     check,
+    check_obs_overhead,
     load_baseline,
     measure,
+    measure_obs_overhead,
     render,
+    render_obs_overhead,
     write_baseline,
 )
 from repro.perf.session import DEFAULT_SAMPLE_OPS
@@ -63,11 +66,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--update", metavar="BASELINE", default=None,
         help="write the measurement to this baseline file",
     )
+    parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help="instead of the engine A/B: measure tracing-enabled vs "
+             "-disabled wall time; exit 1 when the median overhead "
+             "exceeds the budget",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats
     if repeats is None:
         repeats = QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    if args.obs_overhead:
+        try:
+            overhead = measure_obs_overhead(
+                sample_ops=args.sample_ops, repeats=repeats
+            )
+        except ReproError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+        print(render_obs_overhead(overhead))
+        failures = check_obs_overhead(overhead)
+        for line in failures:
+            print("REGRESSION: %s" % line, file=sys.stderr)
+        return 1 if failures else 0
     try:
         current = measure(sample_ops=args.sample_ops, repeats=repeats)
         baseline = load_baseline(args.check) if args.check else None

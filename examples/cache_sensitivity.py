@@ -12,12 +12,15 @@ better provisioned than the 256 KB L2.
 
 from dataclasses import replace
 
-from repro.config import CacheConfig, haswell_e5_2650l_v3
-from repro.uarch.core import SimulatedCore
-from repro.workloads import cpu2017
-from repro.workloads.calibrate import solve_pipeline_params
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.profile import InputSize
+from repro.api import (
+    CacheConfig,
+    InputSize,
+    SimulatedCore,
+    TraceGenerator,
+    cpu2017,
+    haswell_e5_2650l_v3,
+    solve_pipeline_params,
+)
 
 APPS = ("505.mcf_r", "549.fotonik3d_r", "520.omnetpp_r", "525.x264_r")
 

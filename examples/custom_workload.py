@@ -11,16 +11,18 @@ which published results should transfer.
 
 import numpy as np
 
-from repro.core import Characterizer, SubsetSelector, feature_vector
-from repro.workloads import cpu2017
-from repro.workloads.profile import (
+from repro.api import (
     BranchBehavior,
     BranchMix,
+    Characterizer,
     InputSize,
     InstructionMix,
     MemoryBehavior,
     MiniSuite,
+    SubsetSelector,
     WorkloadProfile,
+    cpu2017,
+    feature_vector,
 )
 
 GIB = 1024**3

@@ -12,18 +12,18 @@ miss rates at a small fraction of the simulation cost.
 
 import numpy as np
 
-from repro.config import haswell_e5_2650l_v3
-from repro.phases import (
+from repro.api import (
+    InputSize,
     PhaseDetector,
     PhasedTraceGenerator,
     PhasedWorkload,
     Schedule,
+    SimulatedCore,
+    cpu2017,
     estimate_from_simulation_points,
+    haswell_e5_2650l_v3,
     make_phases,
 )
-from repro.uarch.core import SimulatedCore
-from repro.workloads import cpu2017
-from repro.workloads.profile import InputSize
 
 
 def main() -> None:

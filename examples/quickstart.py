@@ -7,7 +7,7 @@ reproduces the paper's headline observation that 525.x264_r and 505.mcf_r
 sit at opposite ends of the IPC spectrum.
 """
 
-from repro import InputSize, PerfSession, cpu2017
+from repro.api import InputSize, PerfSession, cpu2017
 
 
 def main() -> None:

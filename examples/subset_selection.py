@@ -8,8 +8,7 @@ the suggested subset with its simulation-time saving — the reproduction of
 the paper's Table X workflow.
 """
 
-from repro.core import Characterizer, SubsetSelector
-from repro.workloads import cpu2017
+from repro.api import Characterizer, SubsetSelector, cpu2017
 
 
 def main() -> None:

@@ -9,12 +9,16 @@ clustering redundancy study with Pareto-optimal subsetting.
 
 Quickstart::
 
-    import repro
+    from repro.api import InputSize, PerfSession, cpu2017
 
-    suite = repro.cpu2017()
-    session = repro.PerfSession()
-    report = session.run(suite.get("505.mcf_r").profile(repro.InputSize.REF))
+    suite = cpu2017()
+    session = PerfSession()
+    report = session.run(suite.get("505.mcf_r").profile(InputSize.REF))
     print(report.ipc, report.miss_rates)
+
+:mod:`repro.api` is the stable facade; prefer it for all downstream code.
+The top-level ``repro`` namespace keeps its historical exports and lazily
+resolves any other ``repro.api`` name with a :class:`DeprecationWarning`.
 """
 
 from .config import (
@@ -90,3 +94,31 @@ __all__ = [
     "get_config",
     "haswell_e5_2650l_v3",
 ]
+
+
+def __getattr__(name: str):
+    """Lazily serve ``repro.api`` names not in ``repro.__all__``.
+
+    ``repro.Characterizer`` and friends keep working, but with a
+    :class:`DeprecationWarning` steering callers to the stable facade.
+    Lazy resolution (PEP 562) also keeps heavy analysis modules out of
+    the base ``import repro`` cost.
+    """
+    import importlib
+    import warnings
+
+    # import_module, not ``from . import api``: the from-import form asks
+    # the package for its ``api`` attribute, which re-enters this very
+    # __getattr__ before the submodule is bound.
+    _api = importlib.import_module(".api", __name__)
+    if name == "api":
+        return _api
+    if name in _api.__all__:
+        warnings.warn(
+            "accessing repro.%s via the top-level package is deprecated; "
+            "import it from repro.api instead" % name,
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_api, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

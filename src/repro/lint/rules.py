@@ -390,6 +390,49 @@ def _names_in(node: ast.AST) -> Iterable[str]:
 
 
 @register
+class FacadeImportRule(Rule):
+    """Shipped examples and documentation snippets are the package's
+    public face: a deep import (``repro.uarch.core``, ``repro.workloads.
+    generator``, ...) teaches downstream users to depend on implementation
+    modules that may move between releases.  Everything they need is
+    re-exported by the stable :mod:`repro.api` facade — import from there
+    (or the ``repro`` top level) only."""
+
+    rule_id = "API001"
+    summary = "examples/ and docs/ import only repro.api or repro top-level"
+    only_in = ("examples", "docs")
+
+    #: Modules that constitute the stable surface.
+    _ALLOWED = frozenset(("repro", "repro.api"))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import — not a repro.* deep path
+                    continue
+                modules = [node.module or ""]
+            else:
+                continue
+            for module in modules:
+                if module in self._ALLOWED:
+                    continue
+                if module == "repro." or not (
+                    module == "repro" or module.startswith("repro.")
+                ):
+                    continue
+                yield self._finding(
+                    ctx, node,
+                    "deep import of %r; shipped examples and docs must "
+                    "import from the stable repro.api facade (or the "
+                    "repro top level)" % module,
+                )
+
+
+@register
 class HardCodedSeedRule(Rule):
     """A public function that builds its own RNG from a hard-coded (or
     absent) seed cannot be replayed under a different seed and silently

@@ -1,0 +1,217 @@
+"""``repro.obs`` — structured observability for the measurement pipeline.
+
+The pipeline that characterizes SPEC is itself an instrumented system:
+this package gives it spans (:class:`Tracer`), metrics
+(:class:`MetricsRegistry`), and the hot-path hooks (:func:`profile`,
+:func:`count`, :func:`observe`) that the runner, sessions, engines, and
+stats stages call.
+
+Observability is **off by default** and costs one early-out per hook
+when off (the hooks return a shared no-op), so the engine benchmarks
+are unaffected.  Turn it on per process::
+
+    from repro import obs
+
+    obs.enable(trace_path="run.jsonl")      # spans -> ring buffer + JSONL
+    ... run the pipeline ...
+    print(obs.registry().to_prometheus())   # metrics dump
+    obs.disable()                           # close the sink, drop state
+
+The CLI exposes the same switch as ``repro run --trace out.jsonl
+--metrics``.  Worker processes get their own (sinkless) tracer and
+registry; the :class:`~repro.runner.runner.SuiteRunner` ships their
+spans and metric snapshots back through the existing picklable result
+channel and stitches them into the parent's trace (``Tracer.graft`` /
+``MetricsRegistry.merge``).
+
+Zero dependencies beyond the standard library, by design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_PREFIX,
+    MetricsError,
+    MetricsRegistry,
+)
+from .summarize import (
+    StageLine,
+    TraceFileError,
+    TraceSummary,
+    load_spans,
+    render_table,
+    render_tree,
+    summarize,
+    summarize_spans,
+)
+from .trace import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    ObsError,
+    SpanHandle,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_PREFIX",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObsError",
+    "SpanHandle",
+    "StageLine",
+    "TraceFileError",
+    "TraceSummary",
+    "Tracer",
+    "absorb_worker_payload",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "in_span",
+    "load_spans",
+    "observe",
+    "profile",
+    "record",
+    "registry",
+    "render_table",
+    "render_tree",
+    "set_gauge",
+    "summarize",
+    "summarize_spans",
+    "tracer",
+    "worker_payload",
+]
+
+# ---------------------------------------------------------------------------
+# Process-local state.  One tracer + one registry per process; the hooks
+# below early-out on ``None`` so the disabled path stays branch-cheap.
+# ---------------------------------------------------------------------------
+
+_TRACER: Optional[Tracer] = None
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def enable(
+    trace_path: Optional[str] = None,
+    capacity: int = DEFAULT_CAPACITY,
+    metrics: bool = True,
+) -> Tracer:
+    """Turn observability on for this process (idempotent-ish: calling
+    again replaces the tracer, closing any previous sink)."""
+    global _TRACER, _REGISTRY
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = Tracer(capacity=capacity, sink_path=trace_path)
+    if metrics and _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    elif not metrics:
+        _REGISTRY = None
+    return _TRACER
+
+
+def disable() -> None:
+    """Turn observability off and release the tracer/registry."""
+    global _TRACER, _REGISTRY
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = None
+    _REGISTRY = None
+
+
+def enabled() -> bool:
+    return _TRACER is not None
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer, or None when disabled."""
+    return _TRACER
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or None when disabled."""
+    return _REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Hot-path hooks.  Every call site is written so the disabled cost is one
+# global read + one comparison; the enabled cost is dominated by two
+# clock reads per span, bounded by the engine-overhead benchmark gate.
+# ---------------------------------------------------------------------------
+
+def profile(name: str, **attrs: object):
+    """A span context manager for ``name`` (no-op when disabled)::
+
+        with obs.profile("engine.exec", engine="vector") as span:
+            ...
+            span.set("ops", n)
+    """
+    if _TRACER is None:
+        return NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def record(name: str, wall_s: float = 0.0, **attrs: object) -> None:
+    """Record an externally timed or instantaneous span (no-op when
+    disabled)."""
+    if _TRACER is not None:
+        _TRACER.record(name, wall_s=wall_s, **attrs)
+
+
+def in_span(name: str) -> bool:
+    """Is the innermost active span named ``name``?  False when disabled."""
+    return _TRACER is not None and _TRACER.in_span(name)
+
+
+def count(name: str, amount: float = 1.0, help_text: str = "",
+          **labels: str) -> None:
+    """Increment a counter (no-op when disabled)."""
+    if _REGISTRY is not None:
+        _REGISTRY.counter(name, help_text).labels(**labels).inc(amount)
+
+
+def set_gauge(name: str, value: float, help_text: str = "",
+              **labels: str) -> None:
+    """Set a gauge (no-op when disabled)."""
+    if _REGISTRY is not None:
+        _REGISTRY.gauge(name, help_text).labels(**labels).set(value)
+
+
+def observe(name: str, value: float, help_text: str = "",
+            **labels: str) -> None:
+    """Observe a histogram value (no-op when disabled)."""
+    if _REGISTRY is not None:
+        _REGISTRY.histogram(name, help_text).labels(**labels).observe(value)
+
+
+def worker_payload() -> Optional[Dict[str, object]]:
+    """Drain this process's spans + metrics into one picklable payload.
+
+    Called by pool workers after each task; returns ``None`` when
+    observability is off so the result channel carries no dead weight.
+    """
+    if _TRACER is None:
+        return None
+    payload: Dict[str, object] = {"spans": _TRACER.drain()}
+    if _REGISTRY is not None:
+        payload["metrics"] = _REGISTRY.dump()
+        _REGISTRY.reset()
+    return payload
+
+
+def absorb_worker_payload(
+    payload: Optional[Dict[str, object]],
+    extra_root_attrs: Optional[Dict[str, object]] = None,
+) -> None:
+    """Graft a worker's spans and merge its metrics into this process."""
+    if payload is None:
+        return
+    if _TRACER is not None and payload.get("spans"):
+        _TRACER.graft(payload["spans"], extra_root_attrs=extra_root_attrs)
+    if _REGISTRY is not None and payload.get("metrics"):
+        _REGISTRY.merge(payload["metrics"])

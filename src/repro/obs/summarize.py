@@ -1,0 +1,181 @@
+"""Offline span analysis: turn a JSONL trace into a per-stage breakdown.
+
+The JSONL sink writes one finished span per line, children before
+parents.  This module rebuilds the tree and aggregates wall/CPU time per
+span *name* (the "stage"), attributing to each stage its **self time**
+(wall time minus the wall time of its direct children) as well as its
+cumulative time, so the table answers "where did the run actually go"
+without double counting nested stages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+
+class TraceFileError(ReproError):
+    """Raised when a trace file cannot be read or parsed."""
+
+
+@dataclass
+class StageLine:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+    self_s: float = 0.0
+    cpu_s: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return 1e3 * self.wall_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize` extracts from one trace file."""
+
+    spans: List[Dict[str, object]]
+    stages: List[StageLine]
+    total_self_s: float
+    roots: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)
+
+
+def load_spans(path: str) -> List[Dict[str, object]]:
+    """Read one span dict per JSONL line (blank lines skipped)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        raise TraceFileError("cannot read trace %s: %s" % (path, error)) from error
+    spans: List[Dict[str, object]] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError as error:
+            raise TraceFileError(
+                "%s:%d is not valid JSON: %s" % (path, lineno, error)
+            ) from error
+        if not isinstance(record, dict) or "name" not in record:
+            raise TraceFileError(
+                "%s:%d is not a span record" % (path, lineno)
+            )
+        spans.append(record)
+    return spans
+
+
+def summarize_spans(spans: List[Dict[str, object]]) -> TraceSummary:
+    """Aggregate spans per stage name, computing self times."""
+    by_id: Dict[int, Dict[str, object]] = {}
+    children_wall: Dict[int, float] = {}
+    roots: List[Dict[str, object]] = []
+    for span in spans:
+        span_id = span.get("id")
+        if isinstance(span_id, int):
+            by_id[span_id] = span
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(span)
+        else:
+            children_wall[parent] = (
+                children_wall.get(parent, 0.0) + float(span.get("wall_s") or 0.0)
+            )
+
+    stages: Dict[str, StageLine] = {}
+    total_self = 0.0
+    for span in spans:
+        name = str(span.get("name"))
+        line = stages.get(name)
+        if line is None:
+            line = stages[name] = StageLine(name)
+        wall = float(span.get("wall_s") or 0.0)
+        span_id = span.get("id")
+        child_wall = children_wall.get(span_id, 0.0) if isinstance(span_id, int) else 0.0
+        self_s = max(wall - child_wall, 0.0)
+        line.count += 1
+        line.wall_s += wall
+        line.self_s += self_s
+        line.cpu_s += float(span.get("cpu_s") or 0.0)
+        if span.get("status") == "error":
+            line.errors += 1
+        total_self += self_s
+
+    ordered = sorted(
+        stages.values(), key=lambda line: (-line.self_s, line.name)
+    )
+    return TraceSummary(
+        spans=spans, stages=ordered, total_self_s=total_self, roots=roots
+    )
+
+
+def summarize(path: str) -> TraceSummary:
+    return summarize_spans(load_spans(path))
+
+
+def render_table(summary: TraceSummary) -> str:
+    """The per-stage breakdown table ``repro trace summarize`` prints."""
+    header = "%-24s %7s %12s %12s %10s %7s %7s" % (
+        "stage", "count", "total_ms", "self_ms", "mean_ms", "self%", "errors"
+    )
+    lines = [header, "-" * len(header)]
+    total = summary.total_self_s
+    for stage in summary.stages:
+        share = 100.0 * stage.self_s / total if total > 0 else 0.0
+        lines.append(
+            "%-24s %7d %12.2f %12.2f %10.3f %6.1f%% %7d"
+            % (
+                stage.name, stage.count, 1e3 * stage.wall_s,
+                1e3 * stage.self_s, stage.mean_ms, share, stage.errors,
+            )
+        )
+    lines.append(
+        "%d spans, %d root(s), %.2f ms total self time"
+        % (summary.n_spans, len(summary.roots), 1e3 * summary.total_self_s)
+    )
+    return "\n".join(lines)
+
+
+def render_tree(summary: TraceSummary, max_depth: Optional[int] = None) -> str:
+    """An indented span tree (names + attrs), for debugging traces."""
+    children: Dict[Optional[int], List[Dict[str, object]]] = {}
+    for span in summary.spans:
+        children.setdefault(span.get("parent"), []).append(span)
+    known = {span.get("id") for span in summary.spans}
+
+    lines: List[str] = []
+
+    def walk(span: Dict[str, object], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(
+            "%s=%s" % (key, attrs[key]) for key in sorted(attrs)
+        )
+        status = span.get("status")
+        suffix = " [%s]" % status if status != "ok" else ""
+        lines.append("%s%s (%.2f ms)%s%s" % (
+            "  " * depth, span.get("name"), 1e3 * float(span.get("wall_s") or 0.0),
+            (" " + attr_text) if attr_text else "", suffix,
+        ))
+        for child in children.get(span.get("id"), []):
+            walk(child, depth + 1)
+
+    for span in summary.spans:
+        parent = span.get("parent")
+        if parent is None or parent not in known:
+            walk(span, 0)
+    return "\n".join(lines)

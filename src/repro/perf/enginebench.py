@@ -154,6 +154,105 @@ def measure(
     }
 
 
+#: Enabled-tracing wall time may exceed disabled-tracing wall time by at
+#: most this fraction (median across pairs) — the observability layer's
+#: overhead budget.
+OBS_OVERHEAD_LIMIT = 0.03
+
+
+def measure_obs_overhead(
+    pair_names: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    sample_ops: int = DEFAULT_SAMPLE_OPS,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, object]:
+    """A/B the simulation hot path with tracing off vs on.
+
+    Both measurements run in the same process on the same traces (same
+    protocol as the engine A/B), so the overhead *ratio* is portable even
+    though absolute times are not.  The enabled side uses a sinkless
+    tracer plus a live metrics registry — the worker-process setup, which
+    is the hottest configuration that must stay cheap.
+    """
+    from .. import obs
+
+    if repeats < 1:
+        raise SimulationError("repeats must be >= 1, got %r" % repeats)
+    names = list(pair_names) if pair_names is not None else list(FULL_PAIRS)
+    config = config or haswell_e5_2650l_v3()
+    suite = cpu2017()
+    generator = TraceGenerator(config)
+    core = SimulatedCore(config)
+    was_enabled = obs.enabled()
+
+    pairs: Dict[str, Dict[str, float]] = {}
+    try:
+        for name in names:
+            profile = suite.get(name).profile(InputSize.REF)
+            trace = generator.generate(profile, n_ops=sample_ops)
+            params = solve_pipeline_params(profile, config)
+            obs.disable()
+            off_s = _time_runs(core, trace, params, "auto", repeats)
+            obs.enable()
+            on_s = _time_runs(core, trace, params, "auto", repeats)
+            obs.disable()
+            pairs[profile.pair_name] = {
+                "disabled_ms": round(off_s * 1e3, 3),
+                "enabled_ms": round(on_s * 1e3, 3),
+                "overhead": round(on_s / off_s - 1.0, 4),
+            }
+    finally:
+        obs.disable()
+        if was_enabled:
+            obs.enable()
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "sample_ops": sample_ops,
+        "repeats": repeats,
+        "limit": OBS_OVERHEAD_LIMIT,
+        "pairs": pairs,
+        "median_overhead": round(
+            _median([entry["overhead"] for entry in pairs.values()]), 4
+        ),
+    }
+
+
+def check_obs_overhead(
+    current: Dict[str, object], limit: Optional[float] = None
+) -> List[str]:
+    """Failure lines when the median tracing overhead exceeds the budget."""
+    if limit is None:
+        limit = float(current.get("limit", OBS_OVERHEAD_LIMIT))
+    median = float(current["median_overhead"])
+    if median > limit:
+        return [
+            "median tracing overhead %.2f%% over %d pair(s) exceeds the "
+            "%.1f%% budget"
+            % (100 * median, len(current["pairs"]), 100 * limit)
+        ]
+    return []
+
+
+def render_obs_overhead(current: Dict[str, object]) -> str:
+    """Tabular summary of one tracing-overhead measurement."""
+    lines = [
+        "%-18s %12s %11s %9s"
+        % ("pair", "disabled_ms", "enabled_ms", "overhead")
+    ]
+    for name, entry in current["pairs"].items():
+        lines.append(
+            "%-18s %12.2f %11.2f %8.2f%%"
+            % (name, entry["disabled_ms"], entry["enabled_ms"],
+               100 * entry["overhead"])
+        )
+    lines.append(
+        "median overhead: %.2f%% (budget %.1f%%)"
+        % (100 * current["median_overhead"], 100 * current["limit"])
+    )
+    return "\n".join(lines)
+
+
 def check(
     current: Dict[str, object],
     baseline: Dict[str, object],

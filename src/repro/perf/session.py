@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .. import obs
 from ..config import SystemConfig, haswell_e5_2650l_v3
 from ..errors import CollectionError, SimulationError
 from ..uarch.core import CoreResult, SimulatedCore
@@ -75,11 +76,25 @@ class PerfSession:
                 profile.pair_name,
                 "perf reported collection errors for this pair in the paper",
             )
-        trace = self._generator.generate(profile, n_ops=self.sample_ops)
+        # The SuiteRunner opens the per-pair span itself (it knows the
+        # cache outcome and attempt count); a session called directly
+        # opens its own so standalone traces still group by pair.
+        if obs.in_span("pair.run"):
+            return self._run_measured(profile)
+        with obs.profile("pair.run", pair=profile.pair_name):
+            return self._run_measured(profile)
+
+    def _run_measured(self, profile: WorkloadProfile) -> CounterReport:
+        with obs.profile("trace.gen", ops=self.sample_ops) as span:
+            trace = self._generator.generate(profile, n_ops=self.sample_ops)
+            span.set("loads", trace.n_loads).set("stores", trace.n_stores)
         result = self._core.run(trace, warmup_fraction=self.warmup_fraction)
         # The scaled counters are consistent by construction; enforcing it
         # here means no inconsistent report can ever leave the session.
-        return CounterReport(profile, self._scale(profile, result)).require_valid()
+        with obs.profile("counters.validate"):
+            return CounterReport(
+                profile, self._scale(profile, result)
+            ).require_valid()
 
     def _scale(self, profile: WorkloadProfile, result: CoreResult) -> Dict[str, float]:
         """Scale sampled statistics to the nominal run."""

@@ -5,9 +5,17 @@ Subcommands::
     repro list                      # list all experiments
     repro run table2 fig7 ...       # run selected experiments
     repro run all                   # run every table and figure
+    repro run --pairs 4             # characterize the first N REF pairs
     repro pair 505.mcf_r            # characterize one application (ref)
+    repro trace summarize t.jsonl   # per-stage breakdown of a trace file
     repro lint src/                 # run the repo's static-analysis pass
     repro bench-diff                # scalar-vs-vector engine benchmark
+
+The sweep options (``--sample-ops``, ``--jobs``, ``--no-cache``,
+``--cache-dir``, ``--engine``) and the observability options (``--trace``,
+``--metrics``) are accepted both before and after the subcommand:
+``repro --jobs 4 run all`` and ``repro run all --jobs 4`` are equivalent,
+with the subcommand position winning when both are given.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .. import __version__
+from .. import __version__, obs
 from ..errors import ReproError, SimulationError
 from ..perf.session import DEFAULT_SAMPLE_OPS
 from ..runner import SuiteRunner
@@ -30,59 +38,105 @@ from .experiments import (
     run_experiment,
 )
 
+#: Subcommands that run sweeps and therefore accept the shared options.
+_SWEEP_COMMANDS = ("run", "pair", "phases")
+
+
+def _sweep_parent(top_level: bool) -> argparse.ArgumentParser:
+    """The shared ``--jobs``/``--cache-dir``/... option group.
+
+    Instantiated once with real defaults for the top-level parser and once
+    per sweep subcommand with ``SUPPRESS`` defaults: a subcommand copy only
+    writes into the namespace when the flag is explicitly present, so it
+    overrides the top-level value without clobbering it with a default.
+    """
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("sweep options")
+    group.add_argument(
+        "--sample-ops",
+        type=int,
+        default=default(DEFAULT_SAMPLE_OPS),
+        help="simulated micro-ops per pair (default %s)" % DEFAULT_SAMPLE_OPS,
+    )
+    group.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help="worker processes for characterization sweeps "
+             "(default: CPU count)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=default(False),
+        help="bypass the on-disk result cache (read and write)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=default(None),
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    group.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=default("auto"),
+        help="trace-execution engine: the op-loop reference ('scalar'), "
+             "the batched numpy fast path ('vector'), or pick the fast "
+             "path whenever it is exact ('auto', default)",
+    )
+    group = parent.add_argument_group("observability options")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=default(None),
+        help="record the span tree to FILE as JSON Lines "
+             "(see 'repro trace summarize')",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        default=default(False),
+        help="collect metrics and print a Prometheus-format dump on exit",
+    )
+    return parent
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the SPEC CPU2017 workload "
                     "characterization (ISPASS 2018)",
+        parents=[_sweep_parent(top_level=True)],
     )
     parser.add_argument("--version", action="version", version=__version__)
-    parser.add_argument(
-        "--sample-ops",
-        type=int,
-        default=DEFAULT_SAMPLE_OPS,
-        help="simulated micro-ops per pair (default %(default)s)",
-    )
-    parser.add_argument(
-        "--jobs", "-j",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for characterization sweeps "
-             "(default: CPU count)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk result cache (read and write)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        default=None,
-        help="result-cache directory (default: $REPRO_CACHE_DIR or "
-             "~/.cache/repro)",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=list(ENGINES),
-        default="auto",
-        help="trace-execution engine: the op-loop reference ('scalar'), "
-             "the batched numpy fast path ('vector'), or pick the fast "
-             "path whenever it is exact ('auto', default)",
-    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
 
-    run = subparsers.add_parser("run", help="run experiments")
-    run.add_argument("experiments", nargs="+",
+    run = subparsers.add_parser(
+        "run", help="run experiments",
+        parents=[_sweep_parent(top_level=False)],
+    )
+    run.add_argument("experiments", nargs="*",
                      help="experiment ids, or 'all'")
     run.add_argument("--output", metavar="DIR", default=None,
                      help="also write text + CSV artifacts to DIR")
+    run.add_argument(
+        "--pairs", type=int, default=None, metavar="N",
+        help="instead of experiments: characterize the first N CPU2017 "
+             "REF pairs and print the run manifest",
+    )
 
-    pair = subparsers.add_parser("pair", help="characterize one application")
+    pair = subparsers.add_parser(
+        "pair", help="characterize one application",
+        parents=[_sweep_parent(top_level=False)],
+    )
     pair.add_argument("name", help="benchmark name, e.g. 505.mcf_r")
     pair.add_argument("--size", default="ref", choices=["test", "train", "ref"])
     pair.add_argument("--input", type=int, default=0, help="input index")
@@ -91,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "phases",
         help="detect phases in a phased variant of one application "
              "(the paper's future work)",
+        parents=[_sweep_parent(top_level=False)],
     )
     phases.add_argument("name", help="benchmark name, e.g. 502.gcc_r")
     phases.add_argument(
@@ -99,6 +154,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     phases.add_argument("--segments", type=int, default=24,
                         help="schedule segments (default %(default)s)")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect trace files recorded with --trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-stage time breakdown of a JSONL trace file",
+    )
+    summarize.add_argument("file", help="trace file written by --trace")
+    summarize.add_argument(
+        "--tree", action="store_true",
+        help="also print the span tree itself",
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -162,9 +232,35 @@ def _make_runner(args, workers: Optional[int] = None) -> SuiteRunner:
     )
 
 
+def _cmd_run_pairs(args) -> int:
+    """``repro run --pairs N`` — characterize the first N REF pairs."""
+    if args.pairs < 1:
+        raise SimulationError("--pairs must be >= 1, got %d" % args.pairs)
+    profiles = cpu2017().pairs(size=InputSize.REF)[: args.pairs]
+    runner = _make_runner(args)
+    result = runner.run(profiles)
+    for record in result.manifest.records:
+        status = "cached" if record.cached else (
+            "FAILED(%s)" % record.error if record.failed else "simulated"
+        )
+        print("%-28s %-10s %6.2fs" % (record.pair_name, status, record.seconds))
+    print(result.manifest.summary())
+    return 1 if result.failures else 0
+
+
 def _cmd_run(args) -> int:
     from .export import export_result
 
+    if args.pairs is not None:
+        if args.experiments:
+            raise SimulationError(
+                "--pairs and experiment ids are mutually exclusive"
+            )
+        return _cmd_run_pairs(args)
+    if not args.experiments:
+        raise SimulationError(
+            "nothing to run: give experiment ids, 'all', or --pairs N"
+        )
     wanted: List[str] = args.experiments
     if wanted == ["all"]:
         wanted = list(EXPERIMENT_IDS)
@@ -300,8 +396,26 @@ def _cmd_phases(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from ..obs import render_table, render_tree, summarize
+
+    summary = summarize(args.file)
+    print(render_table(summary))
+    if args.tree:
+        print()
+        print(render_tree(summary))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    obs_on = (
+        args.command in _SWEEP_COMMANDS and (trace_path or metrics)
+    )
+    if obs_on:
+        obs.enable(trace_path=trace_path, metrics=True)
     try:
         if args.command == "list":
             return _cmd_list()
@@ -311,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_pair(args)
         if args.command == "phases":
             return _cmd_phases(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "bench-diff":
@@ -318,6 +434,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
+    finally:
+        if obs_on:
+            if metrics:
+                registry = obs.registry()
+                if registry is not None:
+                    print(registry.to_prometheus(), end="")
+            if trace_path:
+                print("wrote trace to %s" % trace_path, file=sys.stderr)
+            obs.disable()
     return 0
 
 

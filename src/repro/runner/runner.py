@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from .. import obs
 from ..errors import CounterError, SimulationError
 from ..perf.report import CounterReport
 from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
@@ -55,9 +56,15 @@ _WORKER_SESSION: Optional[PerfSession] = None
 
 
 def _init_worker(
-    config, sample_ops: int, warmup_fraction: float, engine: str = "auto"
+    config, sample_ops: int, warmup_fraction: float, engine: str = "auto",
+    obs_on: bool = False,
 ) -> None:
     global _WORKER_SESSION
+    if obs_on:
+        # Sinkless tracer + registry per worker; spans and metric
+        # snapshots ride home on the result tuple and are stitched into
+        # the parent's trace by the runner.
+        obs.enable()
     _WORKER_SESSION = PerfSession(
         config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction,
         engine=engine,
@@ -68,10 +75,13 @@ def _run_pair(profile: WorkloadProfile, strict_errors: bool):
     started = time.perf_counter()
     try:
         report = _WORKER_SESSION.run(profile, strict_errors=strict_errors)
-        return "ok", dict(report), time.perf_counter() - started
+        payload = ("ok", dict(report))
     except Exception as error:  # structured transport; parent retries
-        detail = (type(error).__name__, str(error))
-        return "error", detail, time.perf_counter() - started
+        payload = ("error", (type(error).__name__, str(error)))
+    status, body = payload
+    # worker_payload() drains this task's spans (error spans included —
+    # the parent's trace shows the failed attempt) and metric deltas.
+    return status, body, time.perf_counter() - started, obs.worker_payload()
 
 
 # ---------------------------------------------------------------------------
@@ -290,81 +300,127 @@ class SuiteRunner:
             if self.progress is not None:
                 self.progress(done, total, record)
 
-        # Phase 1: strict-mode precheck + cache lookups.  The collection
-        # -error check runs *before* the cache so a strict sweep can never
-        # serve counters for a pair the paper failed to collect.
-        hits = 0
-        for profile in profiles:
-            name = profile.pair_name
-            if strict_errors and profile.collection_error:
-                failures.append(
-                    PairFailure(name, "CollectionError", _COLLECTION_REASON, 0)
-                )
-                finish(PairRecord(name, 0.0, False, 0, "CollectionError"))
-                continue
-            if self.cache is not None:
-                lookup_started = time.perf_counter()
-                # Keyed on the *resolved* engine so "auto" shares entries
-                # with whichever concrete engine it resolves to.
-                key = self.cache.key(
-                    self.config, profile, self.sample_ops,
-                    self.warmup_fraction,
-                    engine=self._session.resolved_engine,
-                )
-                keys[name] = key
-                values = self.cache.load(key)
-                if values is not None:
-                    try:
-                        # require_valid covers both stale layouts (unknown
-                        # counters -> CounterError) and corrupt entries
-                        # (inconsistent counters); either way the pair is
-                        # re-simulated rather than served poisoned.
-                        reports[name] = CounterReport(
-                            profile, values
-                        ).require_valid()
-                    except CounterError:
-                        values = None
-                if values is not None:
-                    hits += 1
-                    finish(
-                        PairRecord(
-                            name, time.perf_counter() - lookup_started, True, 0
+        with obs.profile(
+            "suite.run",
+            pairs=total,
+            workers=self.workers,
+            engine=self._session.resolved_engine,
+            cache=self.cache is not None,
+        ) as run_span:
+            # Phase 1: strict-mode precheck + cache lookups.  The collection
+            # -error check runs *before* the cache so a strict sweep can
+            # never serve counters for a pair the paper failed to collect.
+            hits = 0
+            for profile in profiles:
+                name = profile.pair_name
+                if strict_errors and profile.collection_error:
+                    failures.append(
+                        PairFailure(
+                            name, "CollectionError", _COLLECTION_REASON, 0
                         )
                     )
-                    continue
-            pending.append(profile)
-
-        misses = len(pending)
-        self.total_cache_hits += hits
-        self.total_cache_misses += misses
-
-        # Phase 2: simulate the misses — pooled when it pays, else inline.
-        if pending:
-            if self.workers > 1 and len(pending) > 1:
-                self._run_pooled(
-                    pending, strict_errors, reports, failures, keys, finish
-                )
-            else:
-                for profile in pending:
-                    self._run_with_retries(
-                        profile, strict_errors, reports, failures, keys, finish,
-                        prior_attempts=0, prior_seconds=0.0,
+                    obs.record(
+                        "pair.failure", pair=name,
+                        error_type="CollectionError", attempts=0,
+                        retries=self.retries,
                     )
+                    finish(PairRecord(name, 0.0, False, 0, "CollectionError"))
+                    continue
+                if self.cache is not None:
+                    lookup_started = time.perf_counter()
+                    # Keyed on the *resolved* engine so "auto" shares
+                    # entries with whichever concrete engine it resolves to.
+                    key = self.cache.key(
+                        self.config, profile, self.sample_ops,
+                        self.warmup_fraction,
+                        engine=self._session.resolved_engine,
+                    )
+                    keys[name] = key
+                    values = self.cache.load(key)
+                    if values is not None:
+                        try:
+                            # require_valid covers both stale layouts
+                            # (unknown counters -> CounterError) and corrupt
+                            # entries (inconsistent counters); either way
+                            # the pair is re-simulated, not served poisoned.
+                            reports[name] = CounterReport(
+                                profile, values
+                            ).require_valid()
+                        except CounterError:
+                            values = None
+                    if values is not None:
+                        hits += 1
+                        lookup_seconds = time.perf_counter() - lookup_started
+                        obs.record(
+                            "pair.run", wall_s=lookup_seconds,
+                            pair=name, cache="hit",
+                        )
+                        finish(PairRecord(name, lookup_seconds, True, 0))
+                        continue
+                pending.append(profile)
 
-        manifest = RunManifest(
-            workers=self.workers,
-            total_pairs=total,
-            cache_hits=hits,
-            cache_misses=misses,
-            wall_time_seconds=time.perf_counter() - started,
-            records=tuple(records[p.pair_name] for p in profiles),
-        )
+            misses = len(pending)
+            self.total_cache_hits += hits
+            self.total_cache_misses += misses
+
+            # Phase 2: simulate the misses — pooled when it pays, else
+            # inline.
+            if pending:
+                if self.workers > 1 and len(pending) > 1:
+                    self._run_pooled(
+                        pending, strict_errors, reports, failures, keys,
+                        finish,
+                    )
+                else:
+                    for profile in pending:
+                        self._run_with_retries(
+                            profile, strict_errors, reports, failures, keys,
+                            finish, prior_attempts=0, prior_seconds=0.0,
+                        )
+
+            manifest = RunManifest(
+                workers=self.workers,
+                total_pairs=total,
+                cache_hits=hits,
+                cache_misses=misses,
+                wall_time_seconds=time.perf_counter() - started,
+                records=tuple(records[p.pair_name] for p in profiles),
+            )
+            run_span.set("cache_hits", hits)
+            run_span.set("cache_misses", misses)
+            run_span.set("failures", manifest.failure_count)
+        self._record_run_metrics(manifest)
         ordered = {
             p.pair_name: reports[p.pair_name]
             for p in profiles
             if p.pair_name in reports
         }
         return SuiteRunResult(ordered, tuple(failures), manifest)
+
+    def _record_run_metrics(self, manifest: RunManifest) -> None:
+        """Fold one sweep's accounting into the process metrics."""
+        if obs.registry() is None:
+            return
+        obs.count("suite_runs_total",
+                  help_text="SuiteRunner.run sweeps completed")
+        obs.count("pairs_total", manifest.total_pairs,
+                  help_text="pairs requested across sweeps")
+        obs.count("cache_hits_total", manifest.cache_hits,
+                  help_text="pairs served from the result cache")
+        obs.count("cache_misses_total", manifest.cache_misses,
+                  help_text="pairs that had to be simulated")
+        obs.count("pair_failures_total", manifest.failure_count,
+                  help_text="pairs that failed after all attempts")
+        retries = sum(
+            max(0, record.attempts - 1) for record in manifest.records
+        )
+        obs.count("retries_total", retries,
+                  help_text="extra attempts beyond each pair's first")
+        obs.set_gauge("cache_hit_ratio", manifest.hit_rate,
+                      help_text="cache hits / pairs of the last sweep")
+        for record in manifest.records:
+            obs.observe("pair_seconds", record.seconds,
+                        help_text="per-pair wall time (cached and simulated)")
 
     # -- internals ---------------------------------------------------------
 
@@ -406,6 +462,14 @@ class SuiteRunner:
         except CounterError as error:
             error_type = type(error).__name__
             failures.append(PairFailure(name, error_type, str(error), attempts))
+            obs.record(
+                "pair.failure", pair=name, error_type=error_type,
+                attempts=attempts, retries=self.retries,
+            )
+            obs.count(
+                "validation_failures_total",
+                help_text="reports rejected by the counter-consistency gate",
+            )
             finish(PairRecord(name, seconds, False, attempts, error_type))
             return
         if self.cache is not None:
@@ -434,24 +498,35 @@ class SuiteRunner:
         name = profile.pair_name
         attempts = prior_attempts
         seconds = prior_seconds
-        while attempts <= self.retries:
-            attempts += 1
-            attempt_started = time.perf_counter()
-            try:
-                report = self._session.run(profile, strict_errors=strict_errors)
-            except Exception as error:
+        # The session sees an open pair.run span and nests its stage spans
+        # under it instead of opening its own (see PerfSession.run).
+        with obs.profile("pair.run", pair=name, cache="miss") as pair_span:
+            while attempts <= self.retries:
+                attempts += 1
+                attempt_started = time.perf_counter()
+                try:
+                    report = self._session.run(
+                        profile, strict_errors=strict_errors
+                    )
+                except Exception as error:
+                    seconds += time.perf_counter() - attempt_started
+                    last_error = (type(error).__name__, str(error))
+                    continue
                 seconds += time.perf_counter() - attempt_started
-                last_error = (type(error).__name__, str(error))
-                continue
-            seconds += time.perf_counter() - attempt_started
-            self._record_success(
-                profile, dict(report), seconds, attempts, reports, failures,
-                keys, finish,
+                pair_span.set("attempts", attempts)
+                self._record_success(
+                    profile, dict(report), seconds, attempts, reports,
+                    failures, keys, finish,
+                )
+                return
+            pair_span.set("attempts", attempts)
+            error_type, message = last_error or ("Error", "unknown failure")
+            failures.append(PairFailure(name, error_type, message, attempts))
+            obs.record(
+                "pair.failure", pair=name, error_type=error_type,
+                attempts=attempts, retries=self.retries,
             )
-            return
-        error_type, message = last_error or ("Error", "unknown failure")
-        failures.append(PairFailure(name, error_type, message, attempts))
-        finish(PairRecord(name, seconds, False, attempts, error_type))
+            finish(PairRecord(name, seconds, False, attempts, error_type))
 
     def _run_pooled(
         self,
@@ -463,12 +538,13 @@ class SuiteRunner:
         finish: Callable[[PairRecord], None],
     ) -> None:
         workers = min(self.workers, len(pending))
+        obs_payloads: Dict[str, object] = {}
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(
                 self.config, self.sample_ops, self.warmup_fraction,
-                self.engine,
+                self.engine, obs.enabled(),
             ),
         ) as pool:
             futures = {
@@ -478,13 +554,16 @@ class SuiteRunner:
             for future in as_completed(futures):
                 profile = futures[future]
                 try:
-                    status, payload, seconds = future.result()
+                    status, payload, seconds, obs_payload = future.result()
                 except Exception as error:
                     # Pool-level failure (e.g. BrokenProcessPool): retry
                     # in the parent so one dead worker cannot sink the run.
                     status = "error"
                     payload = (type(error).__name__, str(error))
                     seconds = 0.0
+                    obs_payload = None
+                if obs_payload is not None:
+                    obs_payloads[profile.pair_name] = obs_payload
                 if status == "ok":
                     self._record_success(
                         profile, payload, seconds, 1, reports, failures,
@@ -496,3 +575,12 @@ class SuiteRunner:
                         finish, prior_attempts=1, prior_seconds=seconds,
                         last_error=tuple(payload),
                     )
+        # Graft worker traces after the pool drains, in submission order,
+        # so the span tree is deterministic despite as_completed racing.
+        for profile in pending:
+            payload = obs_payloads.get(profile.pair_name)
+            if payload is not None:
+                obs.absorb_worker_payload(
+                    payload,
+                    extra_root_attrs={"cache": "miss", "worker": True},
+                )

@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import ClusteringError
 from .linkage import get_linkage, pairwise_distances
 
@@ -112,6 +113,11 @@ class AgglomerativeClustering:
         self._update = get_linkage(linkage)
 
     def fit(self, points: np.ndarray) -> ClusteringResult:
+        with obs.profile("stats.cluster", linkage=self.linkage) as span:
+            span.set("rows", int(np.asarray(points).shape[0]))
+            return self._fit(points)
+
+    def _fit(self, points: np.ndarray) -> ClusteringResult:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ClusteringError("points must be a 2-D array")

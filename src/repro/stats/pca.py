@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..errors import AnalysisError
 from .preprocess import Standardizer
 
@@ -53,6 +54,11 @@ class PCA:
         self.explained_variance_ratio_: Optional[np.ndarray] = None
 
     def fit(self, matrix: np.ndarray) -> "PCA":
+        with obs.profile("stats.pca") as span:
+            span.set("rows", int(np.asarray(matrix).shape[0]))
+            return self._fit(matrix)
+
+    def _fit(self, matrix: np.ndarray) -> "PCA":
         z = self._scaler.fit_transform(matrix)
         n_samples, n_features = z.shape
         covariance = (z.T @ z) / (n_samples - 1)

@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import AnalysisError
 
 
@@ -51,9 +52,10 @@ class Standardizer:
 
 def standardize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One-shot z-scoring; returns (z, means, stds)."""
-    scaler = Standardizer()
-    z = scaler.fit_transform(matrix)
-    return z, scaler.means_, scaler.stds_
+    with obs.profile("stats.standardize"):
+        scaler = Standardizer()
+        z = scaler.fit_transform(matrix)
+        return z, scaler.means_, scaler.stds_
 
 
 def _as_2d(matrix: np.ndarray, min_rows: int = 2) -> np.ndarray:

@@ -15,11 +15,13 @@ rates, mispredict rates, CPI components) come from the measured window.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import SystemConfig
 from ..errors import ConfigError, SimulationError
 from ..workloads.calibrate import (
@@ -200,19 +202,41 @@ class SimulatedCore:
         if engine != "scalar":
             reason = self.vector_unsupported_reason()
             if reason is None:
-                reason, hit_levels = vector.analyze_trace(self.config, trace)
+                with obs.profile("engine.vector.analyze", ops=trace.n_ops):
+                    reason, hit_levels = vector.analyze_trace(
+                        self.config, trace
+                    )
             if reason is not None:
                 if engine == "vector":
                     raise SimulationError(
                         "vector engine unsupported: " + reason
                     )
                 hit_levels = None  # auto: fall back to the op loop
-        if hit_levels is not None:
-            measurement = vector.execute_vector(
-                self.config, trace, warmup_fraction, hit_levels
-            )
-        else:
-            measurement = self._execute_scalar(trace, warmup_fraction)
+        engine_used = "vector" if hit_levels is not None else "scalar"
+        with obs.profile(
+            "engine.exec", engine=engine_used, ops=trace.n_ops
+        ):
+            started = time.perf_counter() if obs.enabled() else 0.0
+            if hit_levels is not None:
+                measurement = vector.execute_vector(
+                    self.config, trace, warmup_fraction, hit_levels
+                )
+            else:
+                measurement = self._execute_scalar(trace, warmup_fraction)
+            if obs.enabled():
+                elapsed = time.perf_counter() - started
+                obs.count("engine_runs_total",
+                          help_text="trace executions per engine",
+                          engine=engine_used)
+                obs.count("engine_ops_total", trace.n_ops,
+                          help_text="simulated micro-ops per engine",
+                          engine=engine_used)
+                if elapsed > 0:
+                    obs.set_gauge(
+                        "engine_ops_per_second", trace.n_ops / elapsed,
+                        help_text="throughput of the most recent execution",
+                        engine=engine_used,
+                    )
         return self._compose(trace, params, warmup_fraction, measurement)
 
     def _execute_scalar(

@@ -33,12 +33,14 @@ replacement policy, and continuously by the A/B benchmark harness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..workloads.generator import (
@@ -422,13 +424,15 @@ def execute_vector(
     """
     kind = trace.kind
     if hit_levels is None:
-        reason, hit_levels = analyze_trace(config, trace)
+        with obs.profile("engine.vector.analyze"):
+            reason, hit_levels = analyze_trace(config, trace)
         if reason is None:
             reason = _config_reason(config)
         if reason is not None:
             raise SimulationError("vector engine unsupported: " + reason)
 
     # ---- memory stream: one bincount over (hit level, is_store) codes ---
+    mem_started = time.perf_counter() if obs.enabled() else 0.0
     mem_idx = np.flatnonzero((kind == KIND_LOAD) | (kind == KIND_STORE))
     n_mem = int(mem_idx.size)
     mem_warmup = int(n_mem * warmup_fraction)
@@ -468,8 +472,12 @@ def execute_vector(
     tracker.observe_counts(
         n_mem, int(np.count_nonzero(trace.new_page[mem_idx]))
     )
+    if obs.enabled():
+        obs.record("engine.vector.memory",
+                   wall_s=time.perf_counter() - mem_started, ops=n_mem)
 
     # ---- conditional branches: grouped automaton evaluation -------------
+    branch_started = time.perf_counter() if obs.enabled() else 0.0
     cond_mask = (kind == KIND_BRANCH) & (trace.btype == BR_CONDITIONAL)
     sites = trace.site[cond_mask].astype(np.int64)
     taken = np.ascontiguousarray(trace.taken[cond_mask])
@@ -486,6 +494,9 @@ def execute_vector(
         predictions=window_conditionals,
         mispredictions=int(np.count_nonzero(mispredicted[cond_warmup:])),
     )
+    if obs.enabled():
+        obs.record("engine.vector.branch",
+                   wall_s=time.perf_counter() - branch_started, ops=n_cond)
 
     return EngineMeasurement(
         hierarchy=hierarchy,

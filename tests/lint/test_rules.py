@@ -288,6 +288,63 @@ class TestSEED001:
         assert ids == ["SEED001"]
 
 
+class TestAPI001:
+    def test_deep_from_import_in_examples_fires(self):
+        ids = rule_ids("""
+            from repro.uarch.core import SimulatedCore
+        """, path="examples/demo.py")
+        assert ids == ["API001"]
+
+    def test_deep_plain_import_in_examples_fires(self):
+        ids = rule_ids("""
+            import repro.workloads.generator
+        """, path="examples/demo.py")
+        assert ids == ["API001"]
+
+    def test_docs_snippets_are_covered_too(self):
+        ids = rule_ids("""
+            from repro.stats import PCA
+        """, path="docs/snippets/pca.py")
+        assert ids == ["API001"]
+
+    def test_facade_and_top_level_imports_are_clean(self):
+        assert rule_ids("""
+            import repro
+            import repro.api
+            from repro import PerfSession
+            from repro.api import SuiteRunner, cpu2017
+        """, path="examples/demo.py") == []
+
+    def test_non_repro_imports_are_clean(self):
+        assert rule_ids("""
+            import numpy as np
+            from dataclasses import replace
+            from reprolib import thing
+        """, path="examples/demo.py") == []
+
+    def test_library_code_is_out_of_scope(self):
+        # Deep imports inside the package itself are normal and allowed.
+        assert rule_ids("""
+            from repro.uarch.core import SimulatedCore
+        """, path="src/repro/perf/session.py") == []
+
+    def test_multiple_deep_imports_fire_individually(self):
+        ids = rule_ids("""
+            from repro.config import CacheConfig
+            from repro.phases import PhaseDetector
+        """, path="examples/demo.py")
+        assert ids == ["API001", "API001"]
+
+    def test_shipped_examples_pass(self):
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        findings = lint_paths([str(examples)], rules=["API001"])
+        assert findings == []
+
+
 class TestParseFailures:
     def test_syntax_error_reported_as_parse_finding(self):
         findings = findings_for("def broken(:\n    pass\n")
@@ -296,7 +353,7 @@ class TestParseFailures:
 
 
 @pytest.mark.parametrize("rule_id", [
-    "RNG001", "PKL001", "FLT001", "CTR001", "MUT001", "SEED001",
+    "RNG001", "PKL001", "FLT001", "CTR001", "MUT001", "SEED001", "API001",
 ])
 def test_every_rule_is_registered_with_a_summary(rule_id):
     from repro.lint import get_rule

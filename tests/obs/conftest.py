@@ -1,0 +1,13 @@
+"""Shared fixtures: every obs test leaves observability off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_off_after_test():
+    """Observability is process-global state; reset it around each test."""
+    obs.disable()
+    yield
+    obs.disable()

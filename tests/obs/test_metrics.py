@@ -1,0 +1,180 @@
+"""MetricsRegistry unit tests: semantics, exporters, merging."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsError, MetricsRegistry
+
+
+class TestSemantics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc()
+        registry.counter("runs_total").inc(2)
+        assert registry.counter("runs_total").labels().value == 3.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.labels().value == 4.0
+
+    def test_histogram_buckets_are_cumulative_on_export(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        child = hist.labels()
+        assert child.counts == [1, 1, 1]  # per-bucket raw
+        assert child.count == 3
+        assert child.total == 7.0
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total")
+        family.labels(engine="scalar").inc(1)
+        family.labels(engine="vector").inc(2)
+        assert family.labels(engine="scalar").value == 1.0
+        assert family.labels(engine="vector").value == 2.0
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("bad name")
+
+    def test_reset_clears_families(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.dump() == {}
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_format(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "sweeps completed").inc(3)
+        registry.gauge("ratio").set(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_runs_total sweeps completed\n" in text
+        assert "# TYPE repro_runs_total counter\n" in text
+        assert "repro_runs_total 3\n" in text
+        assert "# TYPE repro_ratio gauge\n" in text
+        assert "repro_ratio 0.5\n" in text
+        assert text.endswith("\n")
+
+    def test_labels_render_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").labels(
+            engine="vector", kind="load").inc()
+        assert (
+            'repro_ops_total{engine="vector",kind="load"} 1'
+            in registry.to_prometheus()
+        )
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_sum 2.55" in text
+        assert "repro_lat_seconds_count 3" in text
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("aardvark").inc()
+        text = registry.to_prometheus()
+        assert text.index("aardvark") < text.index("zebra")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert "app_x 1" in registry.to_prometheus(prefix="app_")
+
+
+class TestJsonExport:
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "help!").labels(kind="a").inc(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        data = json.loads(registry.to_json())
+        assert data["runs_total"]["kind"] == "counter"
+        assert data["runs_total"]["help"] == "help!"
+        assert data["runs_total"]["children"][0] == {
+            "labels": [["kind", "a"]], "value": 2.0,
+        }
+        hist = data["lat"]["children"][0]
+        assert hist["buckets"] == [1.0]
+        assert hist["counts"] == [1, 0]
+        assert hist["sum"] == 0.5
+        assert hist["count"] == 1
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite(self):
+        worker = MetricsRegistry()
+        worker.counter("runs_total").inc(2)
+        worker.gauge("ratio").set(0.25)
+        parent = MetricsRegistry()
+        parent.counter("runs_total").inc(1)
+        parent.gauge("ratio").set(0.75)
+        parent.merge(worker.dump())
+        assert parent.counter("runs_total").labels().value == 3.0
+        assert parent.gauge("ratio").labels().value == 0.25
+
+    def test_histograms_add_bucket_by_bucket(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        parent.merge(worker.dump())
+        child = parent.histogram("lat").labels()
+        assert child.counts == [1, 1, 0]
+        assert child.count == 2
+        assert child.total == 2.0
+
+    def test_merge_into_empty_registry(self):
+        worker = MetricsRegistry()
+        worker.counter("x").labels(k="v").inc(4)
+        parent = MetricsRegistry()
+        parent.merge(worker.dump())
+        assert parent.counter("x").labels(k="v").value == 4.0
+
+    def test_bucket_layout_mismatch_raises(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(MetricsError):
+            parent.merge(worker.dump())
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().merge({"x": {"kind": "mystery"}})
+
+    def test_dump_is_picklable_and_stable(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        dump = registry.dump()
+        assert pickle.loads(pickle.dumps(dump)) == dump

@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.reports.cli import main
+
+
+@pytest.fixture(autouse=True)
+def obs_off_after_test():
+    """--trace/--metrics flip process-global obs state; reset per test."""
+    obs.disable()
+    yield
+    obs.disable()
 
 
 class TestList:
@@ -57,6 +68,111 @@ class TestPhases:
 
     def test_phases_unknown_kind(self, capsys):
         assert main(["phases", "502.gcc_r", "--kinds", "io"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSharedFlags:
+    """The sweep options work before and after the subcommand."""
+
+    def test_flag_after_subcommand(self, capsys):
+        assert main(["pair", "505.mcf_r", "--sample-ops", "5000"]) == 0
+        assert "505.mcf_r/ref" in capsys.readouterr().out
+
+    def test_subcommand_position_wins(self, capsys):
+        # An explicit subcommand value overrides the top-level one ...
+        code = main([
+            "--sample-ops", "999999999", "pair", "505.mcf_r",
+            "--sample-ops", "5000", "--no-cache",
+        ])
+        assert code == 0
+        assert "505.mcf_r/ref" in capsys.readouterr().out
+
+    def test_top_level_value_survives_subcommand_defaults(self, capsys):
+        # ... but an absent subcommand flag must NOT clobber the
+        # top-level value with its default (SUPPRESS semantics).
+        code = main(["--engine", "scalar", "pair", "505.mcf_r",
+                     "--sample-ops", "5000", "--no-cache"])
+        assert code == 0
+
+    @pytest.mark.parametrize("subcommand", ["run", "pair", "phases"])
+    def test_sweep_flags_in_subcommand_help(self, subcommand, capsys):
+        with pytest.raises(SystemExit):
+            main([subcommand, "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--jobs", "--no-cache", "--cache-dir", "--engine",
+                     "--trace", "--metrics"):
+            assert flag in out, "%s missing %s" % (subcommand, flag)
+
+
+class TestRunPairs:
+    def test_run_pairs_prints_manifest(self, capsys):
+        code = main(["run", "--pairs", "2", "--sample-ops", "5000",
+                     "--no-cache", "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 pairs in" in out
+        assert "simulated" in out
+
+    def test_run_pairs_rejects_experiments_too(self, capsys):
+        assert main(["run", "table1", "--pairs", "2"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_run_without_work_is_an_error(self, capsys):
+        assert main(["run"]) == 1
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_run_pairs_rejects_zero(self, capsys):
+        assert main(["run", "--pairs", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_flow(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "run", "--pairs", "2", "--sample-ops", "5000", "--no-cache",
+            "--jobs", "1", "--trace", str(trace_path), "--metrics",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # Prometheus dump on stdout, sink notice on stderr.
+        assert "# TYPE repro_suite_runs_total counter" in captured.out
+        assert "repro_pairs_total 2" in captured.out
+        assert str(trace_path) in captured.err
+        # The trace file is parseable JSONL with one suite.run root.
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert any(record["name"] == "suite.run" for record in records)
+        # And the CLI turned obs back off on the way out.
+        assert not obs.enabled()
+
+    def test_trace_summarize_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "run", "--pairs", "2", "--sample-ops", "5000", "--no-cache",
+            "--jobs", "1", "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "pair.run" in out
+        assert "root(s)" in out
+
+    def test_trace_summarize_tree_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "pair", "505.mcf_r", "--sample-ops", "5000", "--no-cache",
+            "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "pair.run" in out
+
+    def test_trace_summarize_missing_file_is_friendly(self, capsys):
+        assert main(["trace", "summarize", "/nonexistent/t.jsonl"]) == 1
         assert "error:" in capsys.readouterr().err
 
 

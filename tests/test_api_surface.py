@@ -72,6 +72,94 @@ def test_module_exports(module, names):
         assert hasattr(mod, name), "%s missing %s" % (module, name)
 
 
+class TestApiFacade:
+    """repro.api is the stable surface: complete, explicit, warning-free."""
+
+    REQUIRED = [
+        # The facade contract from the API redesign: every documented
+        # entry point importable from one place.
+        "SuiteRunner", "PerfSession", "Characterizer", "SubsetSelector",
+        "SimulatedCore", "TraceGenerator", "cpu2017", "cpu2006",
+        "InputSize", "get_config", "haswell_e5_2650l_v3", "SystemConfig",
+        "CacheConfig", "PipelineConfig", "Tracer", "MetricsRegistry",
+        "obs", "WorkloadProfile", "CounterReport", "ResultCache",
+        "solve_pipeline_params", "feature_vector", "ReproError",
+    ]
+
+    @pytest.mark.parametrize("name", REQUIRED)
+    def test_required_name_in_facade(self, name):
+        from repro import api
+
+        assert name in api.__all__
+        assert getattr(api, name) is not None
+
+    def test_all_is_complete_and_sorted_per_group(self):
+        from repro import api
+
+        # Every __all__ name resolves; no dangling exports.
+        for name in api.__all__:
+            assert hasattr(api, name), "repro.api.__all__ lists %s" % name
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_facade_covers_top_level_surface(self):
+        # The facade must be a superset of the historical top-level
+        # exports (minus the version dunder) — no regressions for code
+        # migrating from `import repro` to `from repro.api import ...`.
+        from repro import api
+
+        legacy = set(repro.__all__) - {"__version__"}
+        assert legacy <= set(api.__all__)
+
+    def test_star_import_matches_all(self):
+        namespace = {}
+        exec("from repro.api import *", namespace)
+        from repro import api
+
+        exported = {name for name in namespace if not name.startswith("_")}
+        assert exported == set(api.__all__)
+
+    def test_facade_import_emits_no_warnings(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.api"],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestDeprecationBridge:
+    """Top-level access to facade-only names works but warns."""
+
+    def test_facade_only_name_warns(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro import api
+
+            assert repro.Characterizer is api.Characterizer
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert any("repro.api" in message for message in messages)
+
+    def test_stable_top_level_names_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.PerfSession is not None
+            assert repro.SuiteRunner is not None
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_name
+
+
 class TestDeterminismSentinel:
     """One stable fingerprint: if this moves, generated behavior changed
     (deliberate changes should update the expected value knowingly)."""
