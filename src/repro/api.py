@@ -22,8 +22,10 @@ The facade groups into:
   :func:`solve_pipeline_params`, configs and presets.
 - **Analysis** — :class:`Characterizer`, :class:`SubsetSelector`,
   :func:`feature_vector`, the phase-analysis toolkit.
-- **Observability** — :class:`Tracer`, :class:`MetricsRegistry`, and the
-  :mod:`repro.obs` module itself for ``obs.enable()`` / ``obs.profile()``.
+- **Observability** — :class:`Tracer`, :class:`MetricsRegistry`, the
+  run ledger and drift watchdog (:class:`RunLedger`,
+  :func:`check_ledger`), and the :mod:`repro.obs` module itself for
+  ``obs.enable()`` / ``obs.profile()``.
 - **Errors** — the full exception hierarchy rooted at :class:`ReproError`.
 """
 
@@ -58,7 +60,15 @@ from .errors import (
     UnknownBenchmarkError,
     WorkloadError,
 )
-from .obs import MetricsRegistry, Tracer
+from .obs import (
+    DriftDetector,
+    DriftReport,
+    DriftThresholds,
+    MetricsRegistry,
+    RunLedger,
+    Tracer,
+    check_ledger,
+)
 from .perf import CounterReport, PerfSession
 from .phases import (
     PhaseDetector,
@@ -135,8 +145,13 @@ __all__ = [
     "feature_vector",
     "make_phases",
     # Observability
+    "DriftDetector",
+    "DriftReport",
+    "DriftThresholds",
     "MetricsRegistry",
+    "RunLedger",
     "Tracer",
+    "check_ledger",
     "obs",
     # Errors
     "AnalysisError",

@@ -31,9 +31,28 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .drift import (
+    DriftDetector,
+    DriftFinding,
+    DriftReport,
+    DriftThresholds,
+    check_ledger,
+    paper_anchor_vector,
+    sampling_rel_sigma,
+)
+from .ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    LedgerError,
+    RunLedger,
+    build_run_record,
+    characteristic_digest,
+    default_ledger_path,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_PREFIX,
+    ERROR_BUCKETS,
     MetricsError,
     MetricsRegistry,
 )
@@ -59,28 +78,43 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_CAPACITY",
     "DEFAULT_PREFIX",
+    "DriftDetector",
+    "DriftFinding",
+    "DriftReport",
+    "DriftThresholds",
+    "ERROR_BUCKETS",
+    "LEDGER_ENV",
+    "LEDGER_SCHEMA",
+    "LedgerError",
     "MetricsError",
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsError",
+    "RunLedger",
     "SpanHandle",
     "StageLine",
     "TraceFileError",
     "TraceSummary",
     "Tracer",
     "absorb_worker_payload",
+    "build_run_record",
+    "characteristic_digest",
+    "check_ledger",
     "count",
+    "default_ledger_path",
     "disable",
     "enable",
     "enabled",
     "in_span",
     "load_spans",
     "observe",
+    "paper_anchor_vector",
     "profile",
     "record",
     "registry",
     "render_table",
     "render_tree",
+    "sampling_rel_sigma",
     "set_gauge",
     "summarize",
     "summarize_spans",
@@ -183,10 +217,17 @@ def set_gauge(name: str, value: float, help_text: str = "",
 
 
 def observe(name: str, value: float, help_text: str = "",
-            **labels: str) -> None:
-    """Observe a histogram value (no-op when disabled)."""
+            buckets=None, **labels: str) -> None:
+    """Observe a histogram value (no-op when disabled).
+
+    ``buckets`` fixes the family's bucket layout on first use — pass
+    :data:`~repro.obs.metrics.ERROR_BUCKETS` for score-shaped families
+    instead of the wall-time-shaped default.
+    """
     if _REGISTRY is not None:
-        _REGISTRY.histogram(name, help_text).labels(**labels).observe(value)
+        _REGISTRY.histogram(
+            name, help_text, buckets=buckets
+        ).labels(**labels).observe(value)
 
 
 def worker_payload() -> Optional[Dict[str, object]]:

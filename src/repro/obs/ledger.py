@@ -1,0 +1,387 @@
+"""Append-only run ledger: the longitudinal memory of the pipeline.
+
+Every :meth:`~repro.runner.runner.SuiteRunner.run` sweep appends one
+JSON line to an on-disk ledger — config/engine/version hashes, the
+:class:`~repro.runner.runner.RunManifest` accounting, an optional
+:meth:`~repro.obs.metrics.MetricsRegistry.dump` snapshot, and a per-pair
+digest of the 20 microarchitecture-independent characteristics (the
+paper's Table VIII vector).  The drift watchdog (:mod:`repro.obs.drift`)
+reads this history back to compute robust baselines and flag runs whose
+reproduced characteristics move away from the paper's numbers.
+
+The ledger lives under the result-cache directory by default
+(``<cache dir>/ledger.jsonl``) and can be pointed anywhere with the
+``REPRO_LEDGER`` environment variable or an explicit path.
+
+Durability contract:
+
+* **Appends are whole-line atomic.**  Each record is one ``os.write``
+  of one ``\\n``-terminated line on an ``O_APPEND`` descriptor, so two
+  runner processes appending concurrently interleave whole records,
+  never halves.
+* **Reads are salvage-friendly.**  A truncated or corrupt line (a run
+  killed mid-write, a partial disk) is skipped with a warning; every
+  well-formed record around it is still returned.
+* **Writes are best-effort.**  The runner never fails a sweep because
+  the ledger was unwritable; the sweep's counters are already in hand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+#: Ledger record schema version, stamped on every line.
+LEDGER_SCHEMA = 1
+
+#: Environment variable overriding the ledger file location.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Record kinds the ledger currently carries.
+KIND_RUN = "run"
+KIND_BENCH = "bench"
+
+
+class LedgerError(ReproError):
+    """Raised for ledger misuse (bad path, unresolvable run reference)."""
+
+
+def _content_hash(material) -> str:
+    # Imported lazily: repro.runner's package init imports back into
+    # repro.obs, so a module-level import here would be circular.
+    from ..runner.cache import content_hash
+
+    return content_hash(material)
+
+
+def default_ledger_path(cache_dir=None) -> Path:
+    """``$REPRO_LEDGER`` if set, else ``<cache dir>/ledger.jsonl``."""
+    from ..runner.cache import default_cache_dir
+
+    override = os.environ.get(LEDGER_ENV)
+    if override:
+        return Path(override)
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return base / "ledger.jsonl"
+
+
+def characteristic_digest(report) -> Dict[str, float]:
+    """The 20 Table-VIII characteristics of one pair, by feature name.
+
+    This is the per-pair payload the drift detector baselines: the same
+    vector :func:`repro.core.features.feature_vector` feeds into PCA,
+    keyed by :data:`~repro.core.features.FEATURE_NAMES`.
+    """
+    # Imported lazily: core.features pulls in the perf package, which
+    # imports back into repro.obs at module load.
+    from ..core.features import FEATURE_NAMES, feature_vector
+
+    vector = feature_vector(report)
+    return {name: float(value) for name, value in zip(FEATURE_NAMES, vector)}
+
+
+def build_run_record(
+    manifest,
+    reports: Dict[str, object],
+    config,
+    sample_ops: int,
+    warmup_fraction: float,
+    engine: str,
+    metrics: Optional[Dict[str, object]] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble one sweep's ledger record (not yet appended).
+
+    The ``run_id`` is a short content hash over the whole record
+    (timestamp included), so re-running the same sweep yields distinct
+    ids while the payload itself stays deterministic.
+    """
+    from .. import __version__
+
+    record: Dict[str, object] = {
+        "schema": LEDGER_SCHEMA,
+        "kind": KIND_RUN,
+        "time": float(timestamp) if timestamp is not None else time.time(),
+        "code_version": __version__,
+        "config_hash": _content_hash(config),
+        "engine": engine,
+        "sample_ops": sample_ops,
+        "warmup_fraction": warmup_fraction,
+        "manifest": manifest.as_dict(),
+        "metrics": metrics,
+        "pairs": {
+            name: characteristic_digest(report)
+            for name, report in sorted(reports.items())
+        },
+    }
+    record["run_id"] = _content_hash(record)[:12]
+    return record
+
+
+def build_bench_record(
+    document: Dict[str, object], timestamp: Optional[float] = None
+) -> Dict[str, object]:
+    """Wrap one engine-benchmark measurement as a ledger record."""
+    from .. import __version__
+
+    record: Dict[str, object] = {
+        "schema": LEDGER_SCHEMA,
+        "kind": KIND_BENCH,
+        "time": float(timestamp) if timestamp is not None else time.time(),
+        "code_version": __version__,
+        "bench": document,
+    }
+    record["run_id"] = _content_hash(record)[:12]
+    return record
+
+
+def comparability_key(record: Dict[str, object]) -> tuple:
+    """What must match before two run records are drift-comparable.
+
+    Deliberately *excludes* ``code_version``: characteristic movement
+    across code changes is exactly the regression the watchdog exists
+    to catch.
+    """
+    return (
+        record.get("config_hash"),
+        record.get("engine"),
+        record.get("sample_ops"),
+        record.get("warmup_fraction"),
+    )
+
+
+class RunLedger:
+    """Append-only JSONL store of run (and bench) records.
+
+    Args:
+        path: Explicit ledger file.  ``None`` resolves via
+            ``$REPRO_LEDGER``, then ``<cache_dir>/ledger.jsonl``.
+        cache_dir: Directory the default path hangs off (ignored when
+            ``path`` is given or the environment override is set).
+    """
+
+    def __init__(self, path=None, cache_dir=None):
+        self.path = Path(path) if path is not None else default_ledger_path(
+            cache_dir
+        )
+        self._fd: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RunLedger(%r)" % str(self.path)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Append one record as a single whole-line write; returns it.
+
+        The descriptor is opened ``O_APPEND`` and the line goes down in
+        one ``os.write``, so concurrent appenders interleave whole
+        records.  Raises ``OSError`` on an unwritable ledger — callers
+        on the sweep path swallow it (best-effort contract).
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, line.encode("utf-8"))
+        return record
+
+    def close(self) -> None:
+        """Release the append descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- reading ----------------------------------------------------------
+
+    def records(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Every well-formed record, in append order.
+
+        Corrupt or truncated lines — typically a trailing half-line from
+        a killed writer — are skipped with a warning rather than raised:
+        the salvageable history is worth more than the broken tail.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        records: List[Dict[str, object]] = []
+        for lineno, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except ValueError:
+                warnings.warn(
+                    "ledger %s:%d is not valid JSON; skipping the line"
+                    % (self.path, lineno),
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict) or "schema" not in record:
+                warnings.warn(
+                    "ledger %s:%d is not a ledger record; skipping the line"
+                    % (self.path, lineno),
+                    stacklevel=2,
+                )
+                continue
+            if kind is not None and record.get("kind") != kind:
+                continue
+            records.append(record)
+        return records
+
+    def runs(self) -> List[Dict[str, object]]:
+        """Every sweep record, oldest first."""
+        return self.records(kind=KIND_RUN)
+
+    def last(self, kind: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """The newest record (of ``kind``, if given), or ``None``."""
+        records = self.records(kind=kind)
+        return records[-1] if records else None
+
+    def resolve(self, ref: str) -> Dict[str, object]:
+        """Find one *run* record by id prefix or by index.
+
+        ``ref`` may be a ``run_id`` prefix (``"3fa9"``) or an integer
+        index into the run history — Python semantics, so ``-1`` is the
+        latest run and ``0`` the oldest.
+        """
+        runs = self.runs()
+        if not runs:
+            raise LedgerError("ledger %s holds no runs" % self.path)
+        try:
+            index = int(ref)
+        except ValueError:
+            index = None
+        if index is not None:
+            try:
+                return runs[index]
+            except IndexError:
+                raise LedgerError(
+                    "run index %d out of range (%d runs in %s)"
+                    % (index, len(runs), self.path)
+                ) from None
+        matches = [
+            record for record in runs
+            if str(record.get("run_id", "")).startswith(ref)
+        ]
+        if not matches:
+            raise LedgerError(
+                "no run id starting with %r in %s" % (ref, self.path)
+            )
+        if len(matches) > 1:
+            raise LedgerError(
+                "run id %r is ambiguous in %s (matches %s)"
+                % (ref, self.path,
+                   ", ".join(str(m.get("run_id")) for m in matches))
+            )
+        return matches[0]
+
+    def comparable_history(
+        self, current: Dict[str, object]
+    ) -> List[Dict[str, object]]:
+        """Prior runs collected under the same setup as ``current``.
+
+        "Same setup" is :func:`comparability_key` — config, engine, and
+        sample parameters, but *not* code version.  The current record
+        itself (matched by ``run_id``) is excluded.
+        """
+        key = comparability_key(current)
+        current_id = current.get("run_id")
+        return [
+            record for record in self.runs()
+            if comparability_key(record) == key
+            and record.get("run_id") != current_id
+        ]
+
+
+def render_history(
+    runs: Sequence[Dict[str, object]], limit: Optional[int] = None
+) -> str:
+    """The table ``repro obs history`` prints (newest last)."""
+    shown = list(runs)[-limit:] if limit else list(runs)
+    header = "%-12s %-19s %-8s %6s %5s %7s %5s %9s" % (
+        "run_id", "time", "engine", "pairs", "hits", "misses", "fail",
+        "wall_s",
+    )
+    lines = [header, "-" * len(header)]
+    for record in shown:
+        manifest = record.get("manifest") or {}
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(float(record.get("time", 0)))
+        )
+        lines.append(
+            "%-12s %-19s %-8s %6d %5d %7d %5d %9.2f"
+            % (
+                record.get("run_id", "?"),
+                stamp,
+                record.get("engine", "?"),
+                int(manifest.get("total_pairs", 0)),
+                int(manifest.get("cache_hits", 0)),
+                int(manifest.get("cache_misses", 0)),
+                int(manifest.get("failures", 0)),
+                float(manifest.get("wall_time_seconds", 0.0)),
+            )
+        )
+    lines.append("%d run(s)" % len(shown))
+    return "\n".join(lines)
+
+
+def diff_runs(
+    a: Dict[str, object],
+    b: Dict[str, object],
+    threshold: float = 0.01,
+) -> List[str]:
+    """Human-readable per-characteristic deltas between two run records.
+
+    Reports every shared pair/characteristic whose relative change from
+    ``a`` to ``b`` exceeds ``threshold``, plus pairs present in only one
+    record and the headline manifest movement.
+    """
+    lines: List[str] = []
+    pairs_a: Dict[str, Dict[str, float]] = a.get("pairs") or {}
+    pairs_b: Dict[str, Dict[str, float]] = b.get("pairs") or {}
+    only_a = sorted(set(pairs_a) - set(pairs_b))
+    only_b = sorted(set(pairs_b) - set(pairs_a))
+    if only_a:
+        lines.append("only in %s: %s" % (a.get("run_id"), ", ".join(only_a)))
+    if only_b:
+        lines.append("only in %s: %s" % (b.get("run_id"), ", ".join(only_b)))
+    for pair in sorted(set(pairs_a) & set(pairs_b)):
+        digest_a, digest_b = pairs_a[pair], pairs_b[pair]
+        for name in sorted(set(digest_a) & set(digest_b)):
+            va, vb = float(digest_a[name]), float(digest_b[name])
+            scale = max(abs(va), abs(vb))
+            if scale <= 0.0:
+                continue
+            rel = abs(vb - va) / scale
+            if rel > threshold:
+                lines.append(
+                    "%-28s %-38s %14.6g -> %-14.6g (%+.2f%%)"
+                    % (pair, name, va, vb,
+                       100.0 * (vb - va) / va if va else float("inf"))
+                )
+    manifest_a = a.get("manifest") or {}
+    manifest_b = b.get("manifest") or {}
+    for field in ("total_pairs", "cache_hits", "cache_misses", "failures"):
+        va, vb = manifest_a.get(field), manifest_b.get(field)
+        if va != vb:
+            lines.append("manifest.%s: %s -> %s" % (field, va, vb))
+    return lines

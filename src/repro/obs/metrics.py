@@ -37,6 +37,15 @@ DEFAULT_BUCKETS = (
     1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for dimensionless scores — relative errors, robust z-scores,
+#: drift scores.  The wall-time defaults bottom out at 1 ms, far too
+#: coarse for errors that live around 1e-3; families holding scores pass
+#: these instead (see ``MetricsRegistry.histogram(buckets=...)``).
+ERROR_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
 COUNTER = "counter"
 GAUGE = "gauge"
 HISTOGRAM = "histogram"
@@ -52,10 +61,23 @@ def _label_key(labels: Dict[str, str]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first — escaping it last would re-escape the backslashes
+    the quote and newline rules just introduced.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: LabelItems) -> str:
     if not key:
         return ""
-    return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in key)
+    return "{%s}" % ",".join(
+        '%s="%s"' % (k, _escape_label_value(v)) for k, v in key
+    )
 
 
 class Counter:
@@ -173,6 +195,19 @@ class MetricsRegistry:
             raise MetricsError(
                 "metric %r is a %s, not a %s" % (name, family.kind, kind)
             )
+        elif kind == HISTOGRAM and buckets is not None:
+            # Buckets are a per-family layout decision: the first
+            # explicit choice is locked in, and a later conflicting
+            # request is a bug (its observations could not merge).
+            if family.buckets is None and not family._children:
+                family.buckets = buckets
+            elif tuple(family.buckets or DEFAULT_BUCKETS) != buckets:
+                raise MetricsError(
+                    "histogram %r already uses buckets %s; cannot "
+                    "re-register with %s"
+                    % (name, tuple(family.buckets or DEFAULT_BUCKETS),
+                       buckets)
+                )
         return family
 
     def counter(self, name: str, help_text: str = "") -> Family:
@@ -183,8 +218,15 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help_text: str = "",
                   buckets: Optional[Tuple[float, ...]] = None) -> Family:
+        """A histogram family; ``buckets`` fixes its per-family layout.
+
+        Omitting ``buckets`` accepts whatever layout the family already
+        has (``DEFAULT_BUCKETS`` for a fresh family).  Passing a layout
+        that conflicts with an established one raises
+        :class:`MetricsError`.
+        """
         return self._family(name, HISTOGRAM, help_text,
-                            tuple(buckets) if buckets else DEFAULT_BUCKETS)
+                            tuple(buckets) if buckets is not None else None)
 
     # -- exporters ---------------------------------------------------------
 

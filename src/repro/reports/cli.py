@@ -10,6 +10,9 @@ Subcommands::
     repro trace summarize t.jsonl   # per-stage breakdown of a trace file
     repro lint src/                 # run the repo's static-analysis pass
     repro bench-diff                # scalar-vs-vector engine benchmark
+    repro obs history               # past sweeps from the run ledger
+    repro obs diff -2 -1            # per-characteristic deltas, run to run
+    repro obs check                 # drift + paper-fidelity gate (CI)
 
 The sweep options (``--sample-ops``, ``--jobs``, ``--no-cache``,
 ``--cache-dir``, ``--engine``) and the observability options (``--trace``,
@@ -213,6 +216,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="write the fresh measurement back to the baseline file",
     )
+    bench_diff.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="run ledger to append the measurement to (default: "
+             "$REPRO_LEDGER or <cache dir>/ledger.jsonl)",
+    )
+    bench_diff.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append to (or fall back on) the run ledger",
+    )
+
+    obs_cmd = subparsers.add_parser(
+        "obs",
+        help="inspect the run ledger and gate on the drift watchdog",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    def ledger_flag(sub):
+        sub.add_argument(
+            "--ledger", metavar="PATH", default=None,
+            help="ledger file (default: $REPRO_LEDGER or "
+                 "<cache dir>/ledger.jsonl)",
+        )
+
+    history = obs_sub.add_parser(
+        "history", help="list the sweeps recorded in the run ledger",
+    )
+    ledger_flag(history)
+    history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the newest N runs (default %(default)s)",
+    )
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="per-pair characteristic deltas between two ledger runs",
+    )
+    ledger_flag(diff)
+    diff.add_argument(
+        "run_a",
+        help="run_id prefix or history index (-1 = newest, 0 = oldest)",
+    )
+    diff.add_argument("run_b", help="second run, same forms as the first")
+    diff.add_argument(
+        "--threshold", type=float, default=0.01, metavar="REL",
+        help="report characteristics whose relative change exceeds REL "
+             "(default %(default)s)",
+    )
+
+    check = obs_sub.add_parser(
+        "check",
+        help="score the newest run against ledger history and the "
+             "paper anchors; exit 1 on findings (the CI gate)",
+    )
+    ledger_flag(check)
+    check.add_argument(
+        "--robust-z", type=float, default=None, metavar="Z",
+        help="modified z-score threshold of the drift check",
+    )
+    check.add_argument(
+        "--paper-rtol", type=float, default=None, metavar="REL",
+        help="relative tolerance of the paper-anchor fidelity check",
+    )
+    check.add_argument(
+        "--fail-on-wall", action="store_true",
+        help="escalate wall-time outliers from warnings to failures",
+    )
+    check.add_argument(
+        "--metrics", action="store_true",
+        help="also print the watchdog scores as Prometheus metrics",
+    )
     return parser
 
 
@@ -324,8 +397,16 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_bench_diff(args) -> int:
+    """Engine A/B benchmark, now a thin client of the run ledger.
+
+    Every measurement is appended to the ledger as a ``bench`` record;
+    the committed baseline file stays the primary comparison point, with
+    the newest prior ledger measurement as the fallback when the file is
+    absent.
+    """
     import os
 
+    from ..obs.ledger import KIND_BENCH, RunLedger, build_bench_record
     from ..perf import enginebench
 
     repeats = args.repeats
@@ -337,16 +418,35 @@ def _cmd_bench_diff(args) -> int:
     current = enginebench.measure(
         sample_ops=args.sample_ops, repeats=repeats
     )
+    ledger = None if args.no_ledger else RunLedger(path=args.ledger)
     baseline = None
+    baseline_source = None
     if os.path.exists(args.baseline):
         baseline = enginebench.load_baseline(args.baseline)
+        baseline_source = args.baseline
+    elif ledger is not None:
+        prior = ledger.last(kind=KIND_BENCH)
+        if prior is not None:
+            baseline = prior.get("bench")
+            baseline_source = "ledger %s (bench %s)" % (
+                ledger.path, prior.get("run_id"),
+            )
+    if ledger is not None:
+        try:
+            # Recorded before any verdict: failed comparisons are history
+            # worth keeping too.  Best-effort, like every ledger write.
+            ledger.append(build_bench_record(current))
+        except OSError:
+            pass
+        ledger.close()
     print(enginebench.render(current, baseline))
     if args.update:
         print("wrote %s" % enginebench.write_baseline(args.baseline, current))
         return 0
     if baseline is None:
         print(
-            "no baseline at %s (use --update to create it)" % args.baseline,
+            "no baseline at %s and no prior ledger measurement "
+            "(use --update to create the file)" % args.baseline,
             file=sys.stderr,
         )
         return 1
@@ -355,8 +455,59 @@ def _cmd_bench_diff(args) -> int:
         print("REGRESSION: %s" % line, file=sys.stderr)
     if failures:
         return 1
-    print("check passed against %s" % args.baseline)
+    print("check passed against %s" % baseline_source)
     return 0
+
+
+def _cmd_obs(args) -> int:
+    import dataclasses
+
+    from ..obs import DriftThresholds, MetricsRegistry, RunLedger, check_ledger
+    from ..obs.ledger import diff_runs, render_history
+
+    ledger = RunLedger(path=args.ledger)
+    if args.obs_command == "history":
+        runs = ledger.runs()
+        if not runs:
+            print("ledger %s holds no runs" % ledger.path)
+            return 0
+        print(render_history(runs, limit=args.limit))
+        return 0
+    if args.obs_command == "diff":
+        run_a = ledger.resolve(args.run_a)
+        run_b = ledger.resolve(args.run_b)
+        print("diff %s -> %s" % (run_a.get("run_id"), run_b.get("run_id")))
+        lines = diff_runs(run_a, run_b, threshold=args.threshold)
+        if not lines:
+            print(
+                "no characteristic moved more than %g relative"
+                % args.threshold
+            )
+            return 0
+        for line in lines:
+            print(line)
+        return 0
+    # check: the CI gate.  An empty ledger is healthy (nothing to score).
+    overrides = {}
+    if args.robust_z is not None:
+        overrides["robust_z"] = args.robust_z
+    if args.paper_rtol is not None:
+        overrides["paper_rtol"] = args.paper_rtol
+    if args.fail_on_wall:
+        overrides["fail_on_wall"] = True
+    thresholds = (
+        dataclasses.replace(DriftThresholds(), **overrides)
+        if overrides else None
+    )
+    registry = MetricsRegistry() if args.metrics else None
+    report = check_ledger(ledger, thresholds=thresholds, registry=registry)
+    if report is None:
+        print("ledger %s holds no runs; nothing to check" % ledger.path)
+        return 0
+    print(report.render())
+    if registry is not None:
+        print(registry.to_prometheus(), end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_phases(args) -> int:
@@ -431,6 +582,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "bench-diff":
             return _cmd_bench_diff(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from .. import obs
 from ..errors import CounterError, SimulationError
+from ..obs.ledger import LEDGER_ENV, RunLedger, build_run_record
 from ..perf.report import CounterReport
 from ..perf.session import DEFAULT_SAMPLE_OPS, PerfSession
 from ..workloads.profile import InputSize, MiniSuite, WorkloadProfile
@@ -214,6 +215,14 @@ class SuiteRunner:
             each pair finishes.
         engine: Trace-execution engine knob passed to every session —
             ``"scalar"``, ``"vector"``, or ``"auto"`` (default).
+        ledger: An explicit :class:`~repro.obs.ledger.RunLedger` to
+            append run records to.
+        ledger_path: Path for the default ledger (ignored if ``ledger``
+            is given).
+        use_ledger: ``False`` disables the run ledger entirely.  The
+            default ledger lives next to the result cache, so it is
+            only created when a cache is in use (or ``ledger_path`` /
+            ``$REPRO_LEDGER`` names an explicit location).
     """
 
     def __init__(
@@ -228,6 +237,9 @@ class SuiteRunner:
         retries: int = 1,
         progress: Optional[ProgressCallback] = None,
         engine: str = "auto",
+        ledger: Optional[RunLedger] = None,
+        ledger_path=None,
+        use_ledger: bool = True,
     ):
         # The local session validates the sample parameters eagerly and
         # serves inline runs plus in-parent retries.
@@ -250,7 +262,19 @@ class SuiteRunner:
         self.cache: Optional[ResultCache] = None
         if use_cache:
             self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.ledger: Optional[RunLedger] = None
+        if use_ledger:
+            if ledger is not None:
+                self.ledger = ledger
+            elif ledger_path is not None or os.environ.get(LEDGER_ENV):
+                self.ledger = RunLedger(path=ledger_path)
+            elif self.cache is not None:
+                # Default placement: next to the cache it describes.
+                self.ledger = RunLedger(cache_dir=self.cache.directory)
         self.progress = progress
+        #: The run record appended to the ledger by the last ``run()``
+        #: call (None before the first sweep or when the ledger is off).
+        self.last_run_record: Optional[Dict[str, object]] = None
         #: Cumulative counts across every ``run()`` call on this runner.
         self.total_cache_hits = 0
         self.total_cache_misses = 0
@@ -395,7 +419,38 @@ class SuiteRunner:
             for p in profiles
             if p.pair_name in reports
         }
+        self._append_ledger(manifest, ordered)
         return SuiteRunResult(ordered, tuple(failures), manifest)
+
+    def _append_ledger(
+        self, manifest: RunManifest, reports: Dict[str, CounterReport]
+    ) -> None:
+        """Append one run record to the ledger (best-effort, like the
+        cache: a write failure never sinks a sweep)."""
+        if self.ledger is None:
+            return
+        registry = obs.registry()
+        metrics = registry.dump() if registry is not None else None
+        started = time.perf_counter()
+        record = build_run_record(
+            manifest, reports, self.config, self.sample_ops,
+            self.warmup_fraction, self._session.resolved_engine,
+            metrics=metrics,
+        )
+        try:
+            self.ledger.append(record)
+        except OSError:
+            obs.count(
+                "ledger_write_failures_total",
+                help_text="run records the ledger failed to persist",
+            )
+            return
+        self.last_run_record = record
+        obs.count("ledger_writes_total",
+                  help_text="run records appended to the ledger")
+        obs.observe("ledger_write_seconds", time.perf_counter() - started,
+                    help_text="wall time spent building and appending one "
+                              "ledger record")
 
     def _record_run_metrics(self, manifest: RunManifest) -> None:
         """Fold one sweep's accounting into the process metrics."""

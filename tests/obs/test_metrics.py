@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import MetricsError, MetricsRegistry
+from repro.obs import DEFAULT_BUCKETS, ERROR_BUCKETS, MetricsError, MetricsRegistry
 
 
 class TestSemantics:
@@ -109,6 +109,58 @@ class TestPrometheusExport:
         registry = MetricsRegistry()
         registry.counter("x").inc()
         assert "app_x 1" in registry.to_prometheus(prefix="app_")
+
+    def test_pathological_label_values_escaped(self):
+        # Backslashes, double quotes, and newlines must all be escaped
+        # per the Prometheus text format — and escaping must not mangle
+        # already-escaped backslashes.
+        registry = MetricsRegistry()
+        registry.counter("ops_total").labels(
+            path='C:\\dir\n"quoted"').inc()
+        text = registry.to_prometheus()
+        assert (
+            'repro_ops_total{path="C:\\\\dir\\n\\"quoted\\""} 1' in text
+        )
+        assert "\n\"" not in text  # no raw newline inside a label value
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("x").labels(v="\\n").inc()
+        # Literal backslash-n, not a newline escape: \\ then n.
+        assert 'v="\\\\n"' in registry.to_prometheus()
+
+
+class TestBucketConfiguration:
+    def test_explicit_buckets_adopted_on_first_use(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("err", buckets=ERROR_BUCKETS)
+        assert family.buckets == ERROR_BUCKETS
+        # Later bucket-less lookups accept the established layout.
+        assert registry.histogram("err").buckets == ERROR_BUCKETS
+
+    def test_omitted_buckets_default(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat")
+        family.observe(0.5)
+        assert family.labels().buckets == DEFAULT_BUCKETS
+
+    def test_conflicting_relayout_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError, match="already uses buckets"):
+            registry.histogram("lat", buckets=(5.0,))
+
+    def test_default_then_conflicting_explicit_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.5)  # locks DEFAULT_BUCKETS
+        with pytest.raises(MetricsError):
+            registry.histogram("lat", buckets=(5.0,))
+
+    def test_matching_relayout_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.histogram("err", buckets=ERROR_BUCKETS).observe(0.01)
+        registry.histogram("err", buckets=ERROR_BUCKETS).observe(0.02)
+        assert registry.histogram("err").labels().count == 2
 
 
 class TestJsonExport:

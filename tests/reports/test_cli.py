@@ -176,6 +176,135 @@ class TestObservabilityFlags:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObsLedgerCli:
+    """The run-ledger surface: obs history / diff / check."""
+
+    @pytest.fixture()
+    def populated_ledger(self, tmp_path, capsys):
+        """Two identical CLI sweeps through one cache dir -> 2 ledger runs."""
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "--pairs", "2", "--sample-ops", "5000",
+                "--jobs", "1", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        return cache_dir / "ledger.jsonl"
+
+    def test_history_lists_both_runs(self, populated_ledger, capsys):
+        code = main(["obs", "history", "--ledger", str(populated_ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run_id" in out
+        assert "2 run(s)" in out
+
+    def test_history_empty_ledger(self, tmp_path, capsys):
+        code = main(["obs", "history",
+                     "--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 0
+        assert "holds no runs" in capsys.readouterr().out
+
+    def test_diff_identical_runs_moves_no_characteristic(
+        self, populated_ledger, capsys
+    ):
+        code = main(["obs", "diff", "-2", "-1",
+                     "--ledger", str(populated_ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The second sweep is served from cache, so only the manifest
+        # accounting moves — never a characteristic digest.
+        assert "inst_retired" not in out
+        assert "manifest.cache_hits" in out
+
+    def test_diff_unresolvable_run_is_friendly(
+        self, populated_ledger, capsys
+    ):
+        code = main(["obs", "diff", "zzzz", "-1",
+                     "--ledger", str(populated_ledger)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_check_clean_ledger_exits_zero(self, populated_ledger, capsys):
+        code = main(["obs", "check", "--ledger", str(populated_ledger)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_empty_ledger_exits_zero_with_message(
+        self, tmp_path, capsys
+    ):
+        code = main(["obs", "check",
+                     "--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 0
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_check_perturbed_digest_exits_nonzero(
+        self, populated_ledger, capsys
+    ):
+        """The PR's acceptance criterion: a perturbed characteristic
+        digest beyond tolerance turns the exit code nonzero."""
+        import copy
+
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(path=populated_ledger)
+        doctored = copy.deepcopy(ledger.runs()[-1])
+        pair = sorted(doctored["pairs"])[0]
+        doctored["pairs"][pair]["inst_retired.any"] *= 1.5
+        doctored["run_id"] = "deadbeef0000"
+        ledger.append(doctored)
+        ledger.close()
+        code = main(["obs", "check", "--ledger", str(populated_ledger)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "inst_retired.any" in out
+
+    def test_check_metrics_flag_dumps_scores(
+        self, populated_ledger, capsys
+    ):
+        code = main(["obs", "check", "--metrics",
+                     "--ledger", str(populated_ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_drift_findings" in out
+        assert "repro_paper_rel_error" in out
+
+
+class TestBenchDiffLedger:
+    """bench-diff as a thin ledger client."""
+
+    def test_first_run_records_then_serves_as_fallback_baseline(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.ledger import KIND_BENCH, RunLedger
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        argv = ["--sample-ops", "5000", "bench-diff", "--quick",
+                "--baseline", str(tmp_path / "absent.json"),
+                "--ledger", str(ledger_path)]
+        # No file baseline and an empty ledger: fails, but records.
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "no prior ledger measurement" in captured.err
+        bench_records = RunLedger(path=ledger_path).records(kind=KIND_BENCH)
+        assert len(bench_records) == 1
+        assert "median_speedup" in bench_records[0]["bench"]
+        # Second run: the first measurement serves as the baseline.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "check passed against ledger" in captured.out
+        assert len(RunLedger(path=ledger_path).records(kind=KIND_BENCH)) == 2
+
+    def test_no_ledger_flag_opts_out(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        code = main(["--sample-ops", "5000", "bench-diff", "--quick",
+                     "--no-ledger",
+                     "--baseline", str(tmp_path / "absent.json"),
+                     "--ledger", str(ledger_path)])
+        assert code == 1
+        capsys.readouterr()
+        assert not ledger_path.exists()
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,135 @@
+"""SuiteRunner <-> run-ledger integration: auto-append policy and safety."""
+
+import pytest
+
+from repro import obs
+from repro.obs.ledger import LEDGER_ENV, RunLedger
+from repro.runner import SuiteRunner
+from repro.workloads.profile import InputSize
+
+OPS = 2_000
+
+
+@pytest.fixture(scope="module")
+def some_pairs(suite17):
+    return suite17.pairs(size=InputSize.REF)[:2]
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("sample_ops", OPS)
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    return SuiteRunner(**kwargs)
+
+
+class TestAutoAppend:
+    def test_sweep_appends_one_record(self, tmp_path, some_pairs):
+        runner = make_runner(tmp_path)
+        runner.run(some_pairs)
+        assert runner.ledger.path == tmp_path / "cache" / "ledger.jsonl"
+        runs = RunLedger(path=runner.ledger.path).runs()
+        assert len(runs) == 1
+        assert runs[0] == runner.last_run_record
+        assert sorted(runs[0]["pairs"]) == sorted(
+            p.pair_name for p in some_pairs
+        )
+
+    def test_each_sweep_appends(self, tmp_path, some_pairs):
+        runner = make_runner(tmp_path)
+        runner.run(some_pairs)
+        runner.run(some_pairs)
+        assert len(RunLedger(path=runner.ledger.path).runs()) == 2
+
+    def test_record_metrics_snapshot_when_obs_enabled(
+        self, tmp_path, some_pairs
+    ):
+        obs.enable()
+        try:
+            runner = make_runner(tmp_path)
+            runner.run(some_pairs)
+            record = runner.last_run_record
+            assert record["metrics"] is not None
+            assert "suite_runs_total" in record["metrics"]
+            registry = obs.registry()
+            assert registry.counter(
+                "ledger_writes_total"
+            ).labels().value == 1.0
+        finally:
+            obs.disable()
+
+    def test_metrics_none_when_obs_disabled(self, tmp_path, some_pairs):
+        runner = make_runner(tmp_path)
+        runner.run(some_pairs)
+        assert runner.last_run_record["metrics"] is None
+
+
+class TestPolicy:
+    def test_no_cache_means_no_default_ledger(
+        self, tmp_path, some_pairs, monkeypatch
+    ):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        runner = make_runner(tmp_path, use_cache=False)
+        assert runner.ledger is None
+        runner.run(some_pairs)
+        assert runner.last_run_record is None
+        assert not (tmp_path / "cache").exists()
+
+    def test_env_override_enables_without_cache(
+        self, tmp_path, some_pairs, monkeypatch
+    ):
+        target = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(target))
+        runner = make_runner(tmp_path, use_cache=False)
+        runner.run(some_pairs)
+        assert runner.ledger.path == target
+        assert len(RunLedger(path=target).runs()) == 1
+
+    def test_explicit_ledger_path_wins(self, tmp_path, some_pairs):
+        target = tmp_path / "explicit.jsonl"
+        runner = make_runner(tmp_path, ledger_path=target)
+        runner.run(some_pairs)
+        assert runner.ledger.path == target
+        assert len(RunLedger(path=target).runs()) == 1
+
+    def test_use_ledger_false_disables(self, tmp_path, some_pairs):
+        runner = make_runner(tmp_path, use_ledger=False)
+        runner.run(some_pairs)
+        assert runner.ledger is None
+        assert runner.last_run_record is None
+        assert not (tmp_path / "cache" / "ledger.jsonl").exists()
+
+    def test_explicit_ledger_object(self, tmp_path, some_pairs):
+        ledger = RunLedger(path=tmp_path / "mine.jsonl")
+        runner = make_runner(tmp_path, ledger=ledger)
+        assert runner.ledger is ledger
+        runner.run(some_pairs)
+        assert len(ledger.runs()) == 1
+
+
+class TestBestEffort:
+    def test_unwritable_ledger_never_sinks_a_sweep(
+        self, tmp_path, some_pairs
+    ):
+        # A directory is unappendable: os.open(O_WRONLY) raises OSError.
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        runner = make_runner(tmp_path, ledger_path=blocked)
+        result = runner.run(some_pairs)
+        assert result.ok
+        assert runner.last_run_record is None
+
+    def test_write_failure_counted_when_obs_enabled(
+        self, tmp_path, some_pairs
+    ):
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        obs.enable()
+        try:
+            runner = make_runner(tmp_path, ledger_path=blocked)
+            runner.run(some_pairs)
+            registry = obs.registry()
+            assert registry.counter(
+                "ledger_write_failures_total"
+            ).labels().value == 1.0
+        finally:
+            obs.disable()
