@@ -1,0 +1,84 @@
+"""Analyzer base class and registry.
+
+Separate from the package ``__init__`` so the built-in analyzer modules
+can import the registry without creating an import cycle: ``__init__``
+imports the analyzer modules (for their registration side effect) and
+the analyzer modules import only this leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from ...errors import LintError
+from ..engine import Finding
+from ..project import Project
+from ..rules import _RULE_ID_RE
+
+#: Registry of analyzer classes by id, in registration order.
+_ANALYZERS: Dict[str, Type["ProjectAnalyzer"]] = {}
+
+
+class ProjectAnalyzer:
+    """Base class for whole-program analyzers."""
+
+    analyzer_id: str = "XXX000"
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str,
+                column: int = 1) -> Finding:
+        return Finding(
+            path=path, line=line, column=column,
+            rule_id=self.analyzer_id, message=message,
+        )
+
+
+def register_analyzer(cls: Type[ProjectAnalyzer]) -> Type[ProjectAnalyzer]:
+    """Class decorator adding an analyzer to the registry."""
+    analyzer_id = getattr(cls, "analyzer_id", "")
+    if not _RULE_ID_RE.fullmatch(analyzer_id or ""):
+        raise LintError(
+            "analyzer id must be 2-4 capitals + three digits, got %r"
+            % analyzer_id
+        )
+    if analyzer_id in _ANALYZERS:
+        raise LintError("duplicate analyzer id %r" % analyzer_id)
+    _ANALYZERS[analyzer_id] = cls
+    return cls
+
+
+def all_analyzers() -> Tuple[ProjectAnalyzer, ...]:
+    """One fresh instance of every registered analyzer."""
+    return tuple(cls() for cls in _ANALYZERS.values())
+
+
+def get_analyzer(analyzer_id: str) -> ProjectAnalyzer:
+    try:
+        return _ANALYZERS[analyzer_id]()
+    except KeyError:
+        raise LintError(
+            "unknown analyzer %r (registered: %s)"
+            % (analyzer_id, ", ".join(sorted(_ANALYZERS)))
+        ) from None
+
+
+def active_analyzers(
+    selection: Optional[Sequence] = None,
+) -> Tuple[ProjectAnalyzer, ...]:
+    """None means every registered analyzer; strings are looked up by
+    id; analyzer instances pass through."""
+    if selection is None:
+        return all_analyzers()
+    out: List[ProjectAnalyzer] = []
+    for item in selection:
+        out.append(
+            get_analyzer(item) if isinstance(item, str) else item
+        )
+    return tuple(out)
+
+
+def analyzer_ids() -> Tuple[str, ...]:
+    return tuple(_ANALYZERS)

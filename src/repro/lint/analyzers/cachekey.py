@@ -1,0 +1,276 @@
+"""KEY001 — the cache key must cover every input the engine reads.
+
+The result cache's validity rests on one claim: two runs with equal keys
+produce bitwise-equal counters.  That claim breaks silently the day an
+engine module starts reading a config/profile/sample field the key does
+not fold in — cached entries for the old behavior keep getting served.
+No per-file rule can see this: the fields *read* live in ``uarch/`` and
+``runner/``, the fields *hashed* live in ``runner/cache.py``.
+
+The analyzer cross-checks the two sides:
+
+* **Hashed side** — parse the key function (default
+  ``ResultCache.key``) and collect the hash material: which dict keys
+  are present, and which parameter (or parameter field path) each value
+  expression covers.  A bare ``config`` entry covers every
+  ``SystemConfig`` field; ``config.l1d`` covers only that subtree.
+* **Read side** — parse the engine modules and collect attribute reads
+  rooted at the key parameters (``config.X``, ``profile.X``,
+  ``self.config.X``, plus scalar reads like ``self.sample_ops``).
+
+Every read field that is a dataclass field of the parameter's type must
+be covered by the hash material; every key-function parameter must
+appear in the material at all.  Reads of properties and methods are
+ignored — they derive from fields, which are what get hashed.
+
+The spec (which modules, which key function, which parameter types) is
+an instance attribute so fixture projects can re-target the analyzer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..project import Project
+from .base import ProjectAnalyzer, register_analyzer
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """Where the key lives and what it must cover."""
+
+    #: Module holding the key function.
+    key_module: str = "repro.runner.cache"
+    #: Class (or None for a module-level function) and function name.
+    key_class: Optional[str] = "ResultCache"
+    key_func: str = "key"
+    #: Name of the content-hash helper the key function calls.
+    hash_func: str = "content_hash"
+    #: Key-function parameters that carry dataclasses, mapped to the
+    #: dotted class they hold at the runner call site.
+    param_types: Tuple[Tuple[str, str], ...] = (
+        ("config", "repro.config.SystemConfig"),
+        ("profile", "repro.workloads.profile.WorkloadProfile"),
+    )
+    #: Modules whose reads of those parameters feed the simulation.
+    engine_modules: Tuple[str, ...] = (
+        "repro.uarch.core",
+        "repro.uarch.vector",
+        "repro.runner.runner",
+        "repro.perf.session",
+    )
+    #: Alternate spellings engine code uses for each parameter root.
+    root_aliases: Tuple[Tuple[str, str], ...] = (
+        ("cfg", "config"),
+        ("system_config", "config"),
+        ("workload", "profile"),
+    )
+
+
+@dataclass
+class _HashMaterial:
+    """What the key function folds into the content hash."""
+
+    dict_keys: Set[str] = field(default_factory=set)
+    #: param -> covered field paths; an empty tuple in the set means the
+    #: whole object is hashed.
+    coverage: Dict[str, Set[Tuple[str, ...]]] = field(default_factory=dict)
+    key_params: List[str] = field(default_factory=list)
+    found: bool = False
+    line: int = 1
+
+
+@register_analyzer
+class CacheKeyAnalyzer(ProjectAnalyzer):
+    """Engine-read fields must be folded into the cache key."""
+
+    analyzer_id = "KEY001"
+    summary = "cache key covers every config/profile/sample field the engine reads"
+
+    def __init__(self, spec: Optional[KeySpec] = None):
+        self.spec = spec or KeySpec()
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        spec = self.spec
+        key_path = project.path_of(spec.key_module)
+        if key_path is None:
+            return  # key module not part of this lint run
+        material = self._hash_material(project)
+        if not material.found:
+            yield self.finding(
+                key_path, 1,
+                "cannot locate %s.%s()'s %s() material; the cache-key "
+                "completeness check is blind" % (
+                    spec.key_class or spec.key_module, spec.key_func,
+                    spec.hash_func,
+                ),
+            )
+            return
+        # Every key parameter must be folded into the material at all.
+        for param in material.key_params:
+            if param in material.coverage or param in material.dict_keys:
+                continue
+            yield self.finding(
+                key_path, material.line,
+                "key parameter %r is accepted by %s() but never folded "
+                "into the %s() material: two runs differing only in it "
+                "share one cache entry" % (
+                    param, spec.key_func, spec.hash_func,
+                ),
+            )
+        # Every engine-side field read must be covered.
+        types = dict(spec.param_types)
+        seen: Set[Tuple[str, str]] = set()
+        for module in spec.engine_modules:
+            tree = project.ast(module)
+            if tree is None:
+                continue
+            path = project.path_of(module)
+            for root, fields, line in self._engine_reads(tree):
+                if root in types:
+                    class_record = project.resolve_class(
+                        types[root].rsplit(".", 1)[1],
+                        types[root].rsplit(".", 1)[0],
+                    ) or project.classes_index().get(types[root])
+                    if class_record is None:
+                        continue
+                    field_names = {
+                        f["name"] for f in class_record["fields"]
+                    }
+                    if not fields or fields[0] not in field_names:
+                        continue  # property/method access: derives from fields
+                    if self._covered(material, root, fields):
+                        continue
+                    if (root, fields[0]) in seen:
+                        continue
+                    seen.add((root, fields[0]))
+                    yield self.finding(
+                        path, line,
+                        "engine reads %s.%s but the cache key does not "
+                        "fold it in: stale entries will be served when it "
+                        "changes" % (root, ".".join(fields)),
+                    )
+                elif root in material.key_params:
+                    # Scalar sample parameter (sample_ops, engine, ...).
+                    if root in material.dict_keys:
+                        continue
+                    if (root, "") in seen:
+                        continue
+                    seen.add((root, ""))
+                    yield self.finding(
+                        path, line,
+                        "engine reads sample parameter %r but the cache "
+                        "key does not fold it in" % root,
+                    )
+
+    # -- hashed side -------------------------------------------------------
+
+    def _hash_material(self, project: Project) -> _HashMaterial:
+        spec = self.spec
+        material = _HashMaterial()
+        tree = project.ast(spec.key_module)
+        if tree is None:
+            return material
+        func = self._find_key_func(tree)
+        if func is None:
+            return material
+        material.line = func.lineno
+        for param in (
+            list(getattr(func.args, "posonlyargs", [])) + list(func.args.args)
+            + list(func.args.kwonlyargs)
+        ):
+            if param.arg in ("self", "cls"):
+                continue
+            material.key_params.append(param.arg)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = node.func
+            called = (
+                name.id if isinstance(name, ast.Name)
+                else name.attr if isinstance(name, ast.Attribute) else None
+            )
+            if called != spec.hash_func or not node.args:
+                continue
+            payload = node.args[0]
+            if not isinstance(payload, ast.Dict):
+                continue
+            material.found = True
+            for key_node, value in zip(payload.keys, payload.values):
+                if isinstance(key_node, ast.Constant) and isinstance(
+                    key_node.value, str
+                ):
+                    material.dict_keys.add(key_node.value)
+                root, fields = _attribute_chain(value)
+                if root is not None:
+                    material.coverage.setdefault(root, set()).add(fields)
+        return material
+
+    def _find_key_func(self, tree: ast.Module):
+        spec = self.spec
+        scope = tree.body
+        if spec.key_class is not None:
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef) and \
+                        node.name == spec.key_class:
+                    scope = node.body
+                    break
+            else:
+                return None
+        for node in scope:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == spec.key_func:
+                return node
+        return None
+
+    @staticmethod
+    def _covered(material: _HashMaterial, root: str,
+                 fields: Tuple[str, ...]) -> bool:
+        paths = material.coverage.get(root)
+        if not paths:
+            return False
+        for path in paths:
+            if not path:  # whole object hashed
+                return True
+            if fields[: len(path)] == path or path[: len(fields)] == fields:
+                return True
+        return False
+
+    # -- read side ---------------------------------------------------------
+
+    def _engine_reads(self, tree: ast.Module):
+        """Yield ``(root_param, field_path, line)`` attribute reads."""
+        aliases = dict(self.spec.root_aliases)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            root, fields = _attribute_chain(node)
+            if root is None or not fields:
+                continue
+            # ``self.config.l1d`` roots at ``self``: shift one segment.
+            if root == "self":
+                if len(fields) < 1:
+                    continue
+                root, fields = fields[0], fields[1:]
+            root = aliases.get(root, root)
+            if not fields:
+                # Bare ``self.sample_ops`` read: the attribute itself is
+                # the parameter name.
+                yield root, (), node.lineno
+                continue
+            yield root, fields, node.lineno
+
+
+def _attribute_chain(node: ast.expr
+                     ) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """``config.l1d.size_bytes`` -> ``("config", ("l1d", "size_bytes"))``."""
+    fields: List[str] = []
+    while isinstance(node, ast.Attribute):
+        fields.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None, ()
+    return node.id, tuple(reversed(fields))

@@ -1,0 +1,171 @@
+"""SEED010 — seed-taint dataflow across function and module boundaries.
+
+The per-file SEED001 rule checks one signature at a time: a public
+function constructing an RNG must *accept* a seed.  SEED010 checks the
+property the result cache actually depends on: every RNG construction's
+seed argument must **trace back** — through local assignments, calls,
+``self`` attributes, and dataclass fields — to a recognizably threaded
+seed, in whatever function or module that thread starts.
+
+The extraction tier (:mod:`repro.lint.project`) classifies each RNG
+construction site intraprocedurally as ``seeded``, ``neutral`` (pure
+constants — SEED001's jurisdiction), ``poison`` (a nondeterministic
+source such as ``time.time`` or string ``hash()``), or ``params`` — the
+seed traces to parameters of enclosing functions that are not themselves
+seed-named.  This analyzer resolves the ``params`` cases through the
+project-wide call graph: every recorded call site of the dependent
+function must thread a seeded (or constant) value into that parameter,
+recursively up the caller chain, bounded by :data:`MAX_DEPTH`.
+
+A ``params`` site with *no* resolvable call sites is an error: the seed
+enters through a parameter nothing in the project demonstrably seeds,
+which is exactly the hole a per-file rule cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import Finding
+from ..project import (
+    TAINT_NEUTRAL,
+    TAINT_PARAMS,
+    TAINT_POISON,
+    TAINT_SEEDED,
+    Project,
+    is_seed_name,
+)
+from .base import ProjectAnalyzer, register_analyzer
+
+#: Caller-chain recursion bound (defends against pathological graphs;
+#: real seed threading is rarely more than a few hops deep).
+MAX_DEPTH = 8
+
+_OK = "ok"
+
+
+@register_analyzer
+class SeedTaintAnalyzer(ProjectAnalyzer):
+    """Every RNG construction must trace to a threaded seed."""
+
+    analyzer_id = "SEED010"
+    summary = "RNG seeds trace to a threaded seed across module boundaries"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        self._memo: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for module in project.modules():
+            summary = project.by_module[module]
+            for site in summary["rng_sites"]:
+                verdict, detail = self._site_verdict(project, module, site)
+                if verdict == _OK:
+                    continue
+                yield self.finding(
+                    summary["path"], site["line"],
+                    "seed of %s() %s" % (site["constructor"], detail),
+                    column=site["col"] + 1,
+                )
+
+    def _site_verdict(self, project: Project, module: str,
+                      site: Dict[str, object]) -> Tuple[str, str]:
+        status = site["status"]
+        if status in (TAINT_SEEDED, TAINT_NEUTRAL):
+            return _OK, ""
+        if status == TAINT_POISON:
+            return "bad", (
+                "draws from a nondeterministic source (OS entropy, time, "
+                "or randomized hashing); thread an explicit seed instead"
+            )
+        # status == params: resolve each (function, parameter) dependency
+        # through the whole-program call graph.
+        for dep in site["deps"]:
+            qualname, param = dep.rsplit(":", 1)
+            verdict, detail = self._resolve_param(
+                project, "%s.%s" % (module, qualname), param, depth=0,
+                stack=frozenset(),
+            )
+            if verdict != _OK:
+                return verdict, detail
+        return _OK, ""
+
+    def _resolve_param(self, project: Project, func: str, param: str,
+                       depth: int, stack: frozenset) -> Tuple[str, str]:
+        """Is ``param`` of ``func`` seeded at every project call site?"""
+        key = (func, param)
+        if key in self._memo:
+            return self._memo[key]
+        if key in stack:
+            return _OK, ""  # recursive call chain: judged by its entry edge
+        if depth >= MAX_DEPTH:
+            return _OK, ""  # bounded: give deep chains the benefit of doubt
+        if is_seed_name(param):
+            return _OK, ""
+        stack = stack | {key}
+        calls = project.calls_to(func)
+        record = project.functions_index().get(func)
+        if record is None and func.endswith(".__init__"):
+            record = project.functions_index().get(func[: -len(".__init__")])
+        if not calls:
+            result = (
+                "bad",
+                "traces to parameter %r of %s(), which no project call "
+                "site threads a seed into; rename it to a seed/rng "
+                "parameter or pass one through" % (param, func),
+            )
+            self._memo[key] = result
+            return result
+        params = [p["name"] for p in record["params"]] if record else []
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for call in calls:
+            taint = self._call_argument(call, params, param)
+            if taint is None:
+                continue  # cannot map the argument: benefit of the doubt
+            verdict, detail = self._taint_verdict(
+                project, call, taint, depth, stack
+            )
+            if verdict != _OK:
+                result = (
+                    "bad",
+                    "traces to parameter %r of %s(), and the call at "
+                    "%s:%d does not seed it (%s)" % (
+                        param, func, call["path"], call["line"], detail
+                    ),
+                )
+                self._memo[key] = result
+                return result
+        self._memo[key] = (_OK, "")
+        return _OK, ""
+
+    @staticmethod
+    def _call_argument(call: Dict[str, object], params: List[str],
+                       param: str) -> Optional[object]:
+        """The taint code passed for ``param`` at one call site."""
+        if param in call["kwargs"]:
+            return call["kwargs"][param]
+        try:
+            position = params.index(param)
+        except ValueError:
+            return None
+        args = call["args"]
+        if position < len(args):
+            return args[position]
+        return None  # defaulted: the default is a constant, fine
+
+    def _taint_verdict(self, project: Project, call: Dict[str, object],
+                       taint, depth: int, stack: frozenset
+                       ) -> Tuple[str, str]:
+        if taint in (TAINT_SEEDED, TAINT_NEUTRAL):
+            return _OK, ""
+        if taint == TAINT_POISON:
+            return "bad", "the argument is nondeterministic"
+        if isinstance(taint, list) and taint and taint[0] == TAINT_PARAMS:
+            for dep in taint[1]:
+                qualname, param = dep.rsplit(":", 1)
+                verdict, detail = self._resolve_param(
+                    project, "%s.%s" % (call["module"], qualname), param,
+                    depth + 1, stack,
+                )
+                if verdict != _OK:
+                    return verdict, detail
+            return _OK, ""
+        return _OK, ""

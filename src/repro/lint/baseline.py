@@ -1,0 +1,114 @@
+"""Baseline ratchet for adopting the whole-program lint tier.
+
+A new analyzer on an old codebase finds old debt.  The baseline lets a
+repo adopt the gate without fixing every historical finding first,
+while guaranteeing the debt only shrinks:
+
+* every current finding whose fingerprint is in the baseline is
+  **suppressed** (known debt);
+* any finding *not* in the baseline **fails** the run (new debt);
+* baseline entries no longer observed are **stale** and are dropped on
+  the next ``--update-baseline`` (the ratchet clicks forward).
+
+Fingerprints hash ``path|rule|message`` — deliberately *not* the line
+number, so unrelated edits that shift a known finding up or down the
+file do not churn the baseline.  Entries may carry a free-form
+``reason`` string, preserved across updates, to document why the debt
+is accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import LintError
+from .engine import Finding
+
+#: Bump on any change to the baseline file schema.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-independent identity of a finding."""
+    material = "%s|%s|%s" % (finding.path, finding.rule_id, finding.message)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """A set of accepted finding fingerprints with optional reasons."""
+
+    def __init__(self, entries: Dict[str, Dict[str, str]] = None):
+        self.entries = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            raise LintError("unreadable baseline %s: %s" % (path, exc))
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("findings"), dict
+        ):
+            raise LintError(
+                "baseline %s is not a lint baseline file "
+                "(expected a 'findings' object)" % path
+            )
+        if payload.get("version") != BASELINE_VERSION:
+            raise LintError(
+                "baseline %s has schema version %r, expected %d; "
+                "regenerate it with --update-baseline"
+                % (path, payload.get("version"), BASELINE_VERSION)
+            )
+        return cls(payload["findings"])
+
+    def filter(self, findings: Sequence[Finding]
+               ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (new, suppressed_count, stale_fingerprints)."""
+        new: List[Finding] = []
+        seen = set()
+        suppressed = 0
+        for finding in findings:
+            print_ = fingerprint(finding)
+            if print_ in self.entries:
+                seen.add(print_)
+                suppressed += 1
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, suppressed, stale
+
+    def updated_from(self, findings: Sequence[Finding]) -> "Baseline":
+        """The ratcheted baseline: current findings only, reasons kept."""
+        entries: Dict[str, Dict[str, str]] = {}
+        for finding in findings:
+            print_ = fingerprint(finding)
+            entry = {
+                "message": finding.message,
+                "path": finding.path,
+                "rule": finding.rule_id,
+            }
+            previous = self.entries.get(print_)
+            if previous and previous.get("reason"):
+                entry["reason"] = previous["reason"]
+            entries[print_] = entry
+        return Baseline(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "count": len(self.entries),
+            "findings": {
+                key: dict(sorted(value.items()))
+                for key, value in sorted(self.entries.items())
+            },
+            "version": BASELINE_VERSION,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -28,10 +28,22 @@ from ..errors import LintError
 PARSE_RULE_ID = "PAR000"
 
 #: ``# repro: noqa`` or ``# repro: noqa[RNG001]`` / ``[RNG001,MUT001]``.
+#: The lookahead keeps ``noqa-file`` from matching as a bare line noqa.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa"
+    r"#\s*repro:\s*noqa(?!-)"
     r"(?:\[(?P<rules>[A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)\])?"
 )
+
+#: ``# repro: noqa-file`` / ``noqa-file[LAY001]``: suppress for the whole
+#: file.  Honored only in the first few lines so the directive is always
+#: visible at the top, next to the comment explaining it.
+_NOQA_FILE_RE = re.compile(
+    r"#\s*repro:\s*noqa-file"
+    r"(?:\[(?P<rules>[A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)\])?"
+)
+
+#: How far down a file a ``noqa-file`` directive is honored.
+NOQA_FILE_WINDOW = 5
 
 
 @dataclass(frozen=True, order=True)
@@ -154,7 +166,7 @@ class FileContext:
         )
 
 
-def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+def line_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     """Per-line suppression map: line -> rule-id set, or None for "all"."""
     table: Dict[int, Optional[Set[str]]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
@@ -167,6 +179,44 @@ def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
         else:
             table[lineno] = {r.strip() for r in rules.split(",")}
     return table
+
+
+def file_suppressions(source: str):
+    """File-level suppression from a ``noqa-file`` directive.
+
+    Returns ``...`` when no directive is present, ``None`` for a bare
+    ``# repro: noqa-file`` (suppress every rule), or the set of rule
+    ids.  Only the first :data:`NOQA_FILE_WINDOW` lines are scanned.
+    """
+    for text in source.splitlines()[:NOQA_FILE_WINDOW]:
+        match = _NOQA_FILE_RE.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            return None
+        return {r.strip() for r in rules.split(",")}
+    return ...
+
+
+def _filter_suppressed(findings: Iterable[Finding],
+                       source: str) -> List[Finding]:
+    """Apply file-level then line-level noqa directives."""
+    file_noqa = file_suppressions(source)
+    per_line = line_suppressions(source)
+    kept = []
+    for finding in findings:
+        if file_noqa is None:
+            continue  # bare noqa-file
+        if file_noqa is not ... and finding.rule_id in file_noqa:
+            continue
+        allowed = per_line.get(finding.line, ...)
+        if allowed is None:
+            continue  # bare noqa
+        if allowed is not ... and finding.rule_id in allowed:
+            continue
+        kept.append(finding)
+    return kept
 
 
 def lint_source(
@@ -195,16 +245,7 @@ def lint_source(
     for rule in active_rules(rules):
         for finding in rule.check(ctx):
             findings.append(finding)
-    suppressed = _suppressions(source)
-    kept = []
-    for finding in findings:
-        allowed = suppressed.get(finding.line, ...)
-        if allowed is None:
-            continue  # bare noqa
-        if allowed is not ... and finding.rule_id in allowed:
-            continue
-        kept.append(finding)
-    return sorted(kept)
+    return sorted(_filter_suppressed(findings, source))
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
@@ -245,3 +286,201 @@ def lint_paths(
             continue
         findings.extend(lint_source(source, str(path), rules=rules))
     return sorted(findings)
+
+
+# -- orchestration: both tiers, cache, parallelism -------------------------
+
+
+@dataclass
+class LintRun:
+    """The outcome of one :func:`run_lint` invocation."""
+
+    findings: List[Finding]
+    files: int
+    parse_failures: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _analyze_one(path_str: str) -> Dict[str, object]:
+    """Full per-file analysis: hash, rule findings, module summary.
+
+    Module-level (and fed only a path string) so ``--jobs`` can ship it
+    across a process pool.  Runs the **full** rule set — selection
+    filtering happens at report time, which keeps cache entries valid
+    under every ``--select``.
+    """
+    from .project import file_hash, summarize_module
+    from .rules import active_rules
+
+    payload: Dict[str, object] = {
+        "path": path_str, "hash": None, "summary": None, "findings": [],
+    }
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        payload["findings"] = [
+            Finding(path_str, 1, 1, PARSE_RULE_ID,
+                    "cannot read file: %s" % error).as_dict()
+        ]
+        return payload
+    payload["hash"] = file_hash(source)
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as error:
+        payload["findings"] = [
+            Finding(path_str, error.lineno or 1, error.offset or 1,
+                    PARSE_RULE_ID,
+                    "cannot parse file: %s" % error.msg).as_dict()
+        ]
+        return payload
+    ctx = FileContext(path_str, source, tree)
+    findings: List[Finding] = []
+    for rule in active_rules(None):
+        findings.extend(rule.check(ctx))
+    payload["findings"] = [
+        finding.as_dict()
+        for finding in sorted(_filter_suppressed(findings, source))
+    ]
+    payload["summary"] = summarize_module(path_str, source, tree)
+    return payload
+
+
+def _finding_from_dict(record: Dict[str, object]) -> Finding:
+    return Finding(
+        path=record["path"], line=record["line"], column=record["column"],
+        rule_id=record["rule"], message=record["message"],
+    )
+
+
+def _analyzer_suppressed(summary: Optional[Dict[str, object]],
+                         finding: Finding) -> bool:
+    """Honor noqa / noqa-file directives for whole-program findings."""
+    if summary is None:
+        return False
+    file_noqa = summary["noqa_file"]
+    if file_noqa is not None:  # [] encodes a bare noqa-file
+        if not file_noqa or finding.rule_id in file_noqa:
+            return True
+    line_noqa = summary["noqa_lines"].get(str(finding.line))
+    if line_noqa is not None:
+        if not line_noqa or finding.rule_id in line_noqa:
+            return True
+    return False
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+    project: bool = False,
+    jobs: int = 1,
+    cache=None,
+) -> LintRun:
+    """Run the per-file tier — and optionally the whole-program tier —
+    over ``paths``.
+
+    ``select`` is a sequence of rule/analyzer id strings (ids only, so
+    the selection survives a trip through a process pool); ``None``
+    means everything registered.  ``cache`` is an
+    :class:`repro.lint.cache.AnalysisCache` (or None); unchanged files
+    are skipped wholesale on warm runs.  ``jobs > 1`` fans per-file
+    analysis out over a process pool; output is byte-identical to the
+    serial run because findings are sorted after collection.
+    """
+    from . import analyzers as analyzers_mod
+    from .project import Project, file_hash
+    from .rules import rule_ids
+
+    known_rules = set(rule_ids())
+    known_analyzers = set(analyzers_mod.analyzer_ids())
+    if select is not None:
+        unknown = sorted(
+            set(select) - known_rules - known_analyzers - {PARSE_RULE_ID}
+        )
+        if unknown:
+            raise LintError(
+                "unknown rule or analyzer id(s): %s (registered: %s)"
+                % (", ".join(unknown),
+                   ", ".join(sorted(known_rules | known_analyzers)))
+            )
+
+    files = iter_python_files(paths)
+    payloads: Dict[str, Dict[str, object]] = {}
+    pending: List[str] = []
+    hits = misses = 0
+    for path in files:
+        path_str = str(path)
+        if cache is not None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                pending.append(path_str)  # surface the error via analysis
+                continue
+            cached = cache.get(path_str, file_hash(source))
+            if cached is not None:
+                summary, findings = cached
+                payloads[path_str] = {
+                    "path": path_str, "hash": None,
+                    "summary": summary, "findings": findings,
+                }
+                hits += 1
+                continue
+            misses += 1
+        pending.append(path_str)
+
+    if pending:
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for payload in pool.map(_analyze_one, pending):
+                    payloads[payload["path"]] = payload
+        else:
+            for path_str in pending:
+                payloads[path_str] = _analyze_one(path_str)
+
+    if cache is not None:
+        for path_str in pending:
+            payload = payloads[path_str]
+            if payload["hash"] is not None:
+                cache.put(path_str, payload["hash"], payload["summary"],
+                          payload["findings"])
+        cache.prune(str(path) for path in files)
+        cache.save()
+
+    findings: List[Finding] = []
+    for path_str in sorted(payloads):
+        findings.extend(
+            _finding_from_dict(record)
+            for record in payloads[path_str]["findings"]
+        )
+
+    if project:
+        summaries = [
+            payloads[path_str]["summary"]
+            for path_str in sorted(payloads)
+            if payloads[path_str]["summary"] is not None
+        ]
+        model = Project(summaries)
+        if select is None:
+            chosen = None
+        else:
+            chosen = [s for s in select if s in known_analyzers]
+        for analyzer in analyzers_mod.active_analyzers(chosen):
+            for finding in analyzer.check(model):
+                summary = model.by_path.get(finding.path)
+                if not _analyzer_suppressed(summary, finding):
+                    findings.append(finding)
+
+    if select is not None:
+        keep = set(select) | {PARSE_RULE_ID}
+        findings = [f for f in findings if f.rule_id in keep]
+
+    findings.sort()
+    parse_failures = sum(
+        1 for finding in findings if finding.rule_id == PARSE_RULE_ID
+    )
+    return LintRun(
+        findings=findings, files=len(files), parse_failures=parse_failures,
+        cache_hits=hits, cache_misses=misses,
+    )

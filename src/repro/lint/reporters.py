@@ -36,8 +36,81 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+#: SARIF schema pin — bump deliberately, golden snapshots depend on it.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_summary(rule_id: str) -> str:
+    """Best-effort one-line description from either tier's registry."""
+    from . import analyzers, rules
+
+    for registry in (rules._REGISTRY, analyzers._ANALYZERS):
+        cls = registry.get(rule_id)
+        if cls is not None:
+            return getattr(cls, "summary", "") or rule_id
+    return rule_id
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 log, deterministic (sorted rules, stable key order).
+
+    One run, one driver; every finding is level ``error`` because the
+    lint gate treats any finding as a failure.  Paths are emitted as
+    given (repo-relative when the lint run was invoked that way), which
+    is what code-scanning upload expects.
+    """
+    rule_ids = sorted({finding.rule_id for finding in findings})
+    results = [
+        {
+            "level": "error",
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startColumn": finding.column,
+                        "startLine": finding.line,
+                    },
+                },
+            }],
+            "message": {"text": finding.message},
+            "ruleId": finding.rule_id,
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "runs": [{
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+            "tool": {
+                "driver": {
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "name": "repro-lint",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {
+                                "text": _rule_summary(rule_id),
+                            },
+                        }
+                        for rule_id in rule_ids
+                    ],
+                },
+            },
+        }],
+        "version": "2.1.0",
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def render(findings: Sequence[Finding], fmt: str = "text") -> str:
-    renderers = {"text": render_text, "json": render_json}
+    renderers = {
+        "text": render_text, "json": render_json, "sarif": render_sarif,
+    }
     try:
         renderer = renderers[fmt]
     except KeyError:

@@ -47,6 +47,11 @@ def all_rules() -> Tuple["Rule", ...]:
     return tuple(cls() for cls in _REGISTRY.values())
 
 
+def rule_ids() -> Tuple[str, ...]:
+    """Registered per-file rule ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
 def get_rule(rule_id: str) -> "Rule":
     try:
         return _REGISTRY[rule_id]()

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ReproError
+from ..hashing import content_hash as _content_hash
 
 #: Ledger record schema version, stamped on every line.
 LEDGER_SCHEMA = 1
@@ -52,17 +53,11 @@ class LedgerError(ReproError):
     """Raised for ledger misuse (bad path, unresolvable run reference)."""
 
 
-def _content_hash(material) -> str:
-    # Imported lazily: repro.runner's package init imports back into
-    # repro.obs, so a module-level import here would be circular.
-    from ..runner.cache import content_hash
-
-    return content_hash(material)
 
 
 def default_ledger_path(cache_dir=None) -> Path:
     """``$REPRO_LEDGER`` if set, else ``<cache dir>/ledger.jsonl``."""
-    from ..runner.cache import default_cache_dir
+    from ..paths import default_cache_dir
 
     override = os.environ.get(LEDGER_ENV)
     if override:

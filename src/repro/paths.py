@@ -1,0 +1,23 @@
+"""Filesystem locations shared across layers.
+
+Lives below every other layer (like :mod:`repro.hashing`) so that both
+the runner's result cache and the observability ledger can agree on the
+default cache directory without the observability layer importing the
+runner.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"

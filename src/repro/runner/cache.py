@@ -23,20 +23,20 @@ The default location is ``~/.cache/repro`` and can be overridden with the
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional
 
+# Historical homes of the content hash and the default cache directory;
+# re-exported from the neutral repro.hashing / repro.paths modules so
+# repro.obs can use both without importing the runner.
+from ..hashing import content_hash, jsonable
+from ..paths import CACHE_DIR_ENV, default_cache_dir
+
 #: Bump to invalidate every existing cache entry on disk (layout changes).
 CACHE_SCHEMA = 1
-
-#: Environment variable overriding the default cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def _code_version() -> str:
@@ -45,38 +45,6 @@ def _code_version() -> str:
     from .. import __version__
 
     return __version__
-
-
-def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
-    override = os.environ.get(CACHE_DIR_ENV)
-    if override:
-        return Path(override)
-    return Path(os.path.expanduser("~")) / ".cache" / "repro"
-
-
-def jsonable(obj):
-    """Recursively convert dataclasses/enums/tuples to JSON-safe values."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: jsonable(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, enum.Enum):
-        return obj.value
-    if isinstance(obj, (list, tuple)):
-        return [jsonable(item) for item in obj]
-    if isinstance(obj, dict):
-        return {str(key): jsonable(value) for key, value in obj.items()}
-    return obj
-
-
-def content_hash(material) -> str:
-    """SHA-256 over the canonical JSON encoding of ``material``."""
-    payload = json.dumps(
-        jsonable(material), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class ResultCache:

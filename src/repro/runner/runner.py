@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from .. import obs
+from ..config import SystemConfig
 from ..errors import CounterError, SimulationError
 from ..obs.ledger import LEDGER_ENV, RunLedger, build_run_record
 from ..perf.report import CounterReport
@@ -57,8 +58,8 @@ _WORKER_SESSION: Optional[PerfSession] = None
 
 
 def _init_worker(
-    config, sample_ops: int, warmup_fraction: float, engine: str = "auto",
-    obs_on: bool = False,
+    config: SystemConfig, sample_ops: int, warmup_fraction: float,
+    engine: str = "auto", obs_on: bool = False,
 ) -> None:
     global _WORKER_SESSION
     if obs_on:
@@ -72,7 +73,9 @@ def _init_worker(
     )
 
 
-def _run_pair(profile: WorkloadProfile, strict_errors: bool):
+def _run_pair(
+    profile: WorkloadProfile, strict_errors: bool
+) -> Tuple[str, object, float, Dict[str, object]]:
     started = time.perf_counter()
     try:
         report = _WORKER_SESSION.run(profile, strict_errors=strict_errors)

@@ -1,3 +1,6 @@
+# repro: noqa-file[LAY001] — deliberate upward edge: the observability
+# seam (tracer spans, metric counters) is threaded through the leaf layers
+# by design; repro.obs is import-light and never imports back down.
 """Agglomerative hierarchical clustering (paper Section V-B).
 
 Start with every point in its own cluster; repeatedly merge the pair with

@@ -1,3 +1,6 @@
+# repro: noqa-file[LAY001] — deliberate upward edge: the observability
+# seam (tracer spans, metric counters) is threaded through the leaf layers
+# by design; repro.obs is import-light and never imports back down.
 """Principal Components Analysis from scratch.
 
 Implements the transformation of paper Section V-A: standardize the

@@ -1,3 +1,6 @@
+# repro: noqa-file[LAY001] — deliberate upward edge: the observability
+# seam (tracer spans, metric counters) is threaded through the leaf layers
+# by design; repro.obs is import-light and never imports back down.
 """The simulated core: executes a synthetic trace against the substrate.
 
 Ties together the cache hierarchy, a branch predictor, the footprint

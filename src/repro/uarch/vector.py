@@ -1,3 +1,6 @@
+# repro: noqa-file[LAY001] — deliberate upward edge: the observability
+# seam (tracer spans, metric counters) is threaded through the leaf layers
+# by design; repro.obs is import-light and never imports back down.
 """Vectorized trace-execution engine (numpy batch passes, no op loop).
 
 The scalar :class:`~repro.uarch.core.SimulatedCore` path walks the trace

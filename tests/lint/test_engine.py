@@ -202,8 +202,8 @@ class TestCLI:
                         "CTR001", "MUT001", "SEED001"):
             assert rule_id in out
 
-    def test_missing_path_is_a_clean_error(self, tmp_path, capsys):
-        assert main(["lint", str(tmp_path / "gone")]) == 1
+    def test_missing_path_is_an_internal_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "gone")]) == 2
         assert "error:" in capsys.readouterr().err
 
 

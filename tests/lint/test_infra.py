@@ -1,0 +1,268 @@
+"""Lint infrastructure: cache, baseline ratchet, SARIF, CLI semantics."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    AnalysisCache,
+    Baseline,
+    Finding,
+    fingerprint,
+    render_sarif,
+    run_lint,
+)
+from repro.lint.cache import CACHE_VERSION
+from repro.lint.engine import file_suppressions, line_suppressions
+from repro.reports.cli import main
+
+RNG_SOURCE = "import numpy as np\nx = np.random.rand(4)\n"
+
+GOLDEN_SARIF = Path(__file__).parent / "golden_lint.sarif"
+
+
+class TestAnalysisCache:
+    def test_second_run_is_all_hits_and_identical(self, build_tree,
+                                                  tmp_path):
+        build_tree({"repro/app.py": RNG_SOURCE})
+        cache_file = tmp_path / "cache.json"
+        cold = run_lint([str(tmp_path / "repro")], project=True,
+                        cache=AnalysisCache(cache_file))
+        warm = run_lint([str(tmp_path / "repro")], project=True,
+                        cache=AnalysisCache(cache_file))
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == warm.files == cold.files
+        assert warm.findings == cold.findings
+
+    def test_changed_file_misses_and_reanalyzes(self, build_tree, tmp_path):
+        build_tree({"repro/app.py": RNG_SOURCE})
+        cache_file = tmp_path / "cache.json"
+        run_lint([str(tmp_path / "repro")], cache=AnalysisCache(cache_file))
+        (tmp_path / "repro" / "app.py").write_text("x = 1\n")
+        warm = run_lint([str(tmp_path / "repro")],
+                        cache=AnalysisCache(cache_file))
+        assert warm.cache_misses == 1
+        assert all(f.rule_id != "RNG001" for f in warm.findings)
+
+    def test_cache_is_selection_independent(self, build_tree, tmp_path):
+        build_tree({"repro/app.py": RNG_SOURCE})
+        cache_file = tmp_path / "cache.json"
+        # Prime under a selection that has no findings for this file...
+        narrow = run_lint([str(tmp_path / "repro")], select=["MUT001"],
+                          cache=AnalysisCache(cache_file))
+        assert narrow.findings == []
+        # ...then a warm full run must still surface the RNG001 finding.
+        full = run_lint([str(tmp_path / "repro")],
+                        cache=AnalysisCache(cache_file))
+        assert full.cache_misses == 0
+        assert any(f.rule_id == "RNG001" for f in full.findings)
+
+    def test_version_mismatch_discards_the_cache(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text(json.dumps({
+            "version": CACHE_VERSION + 1,
+            "entries": {"x.py": {"hash": "h", "summary": None,
+                                 "findings": []}},
+        }))
+        cache = AnalysisCache(cache_file)
+        assert cache.get("x.py", "h") is None
+
+    def test_corrupt_cache_file_starts_cold(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("not json{")
+        cache = AnalysisCache(cache_file)
+        assert cache.get("x.py", "h") is None
+        cache.put("x.py", "h", None, [])
+        cache.save()
+        assert json.loads(cache_file.read_text())["version"] == CACHE_VERSION
+
+
+class TestJobs:
+    def test_parallel_run_is_byte_identical(self, build_tree, tmp_path):
+        build_tree({
+            "repro/a.py": RNG_SOURCE,
+            "repro/b.py": "def f(x=[]):\n    return x\n",
+            "repro/c.py": "x = 1\n",
+        })
+        serial = run_lint([str(tmp_path / "repro")], project=True, jobs=1)
+        parallel = run_lint([str(tmp_path / "repro")], project=True, jobs=3)
+        assert serial.findings == parallel.findings
+
+
+class TestBaseline:
+    def finding(self, message="m", path="p.py", rule="RNG001", line=3):
+        return Finding(path=path, line=line, column=1, rule_id=rule,
+                       message=message)
+
+    def test_fingerprint_ignores_the_line_number(self):
+        a = self.finding(line=3)
+        b = self.finding(line=99)
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a) != fingerprint(self.finding(message="other"))
+
+    def test_filter_splits_known_new_and_stale(self):
+        known = self.finding("known")
+        gone = self.finding("fixed long ago")
+        baseline = Baseline({
+            fingerprint(known): {"path": "p.py", "rule": "RNG001",
+                                 "message": "known"},
+            fingerprint(gone): {"path": "p.py", "rule": "RNG001",
+                                "message": "fixed long ago"},
+        })
+        new_finding = self.finding("brand new")
+        new, suppressed, stale = baseline.filter([known, new_finding])
+        assert new == [new_finding]
+        assert suppressed == 1
+        assert stale == [fingerprint(gone)]
+
+    def test_update_ratchets_and_preserves_reasons(self, tmp_path):
+        kept = self.finding("kept")
+        baseline = Baseline({
+            fingerprint(kept): {"path": "p.py", "rule": "RNG001",
+                                "message": "kept",
+                                "reason": "deliberate seam"},
+            "dead0000dead0000": {"path": "old.py", "rule": "RNG001",
+                                 "message": "gone"},
+        })
+        updated = baseline.updated_from([kept])
+        assert list(updated.entries) == [fingerprint(kept)]
+        assert updated.entries[fingerprint(kept)]["reason"] \
+            == "deliberate seam"
+        target = tmp_path / "base.json"
+        updated.save(target)
+        assert Baseline.load(target).entries == updated.entries
+
+    def test_missing_baseline_is_empty_and_garbage_raises(self, tmp_path):
+        assert Baseline.load(tmp_path / "none.json").entries == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        with pytest.raises(LintError):
+            Baseline.load(bad)
+
+
+class TestSarif:
+    def findings(self):
+        return [
+            Finding(path="src/repro/uarch/core.py", line=24, column=1,
+                    rule_id="LAY001",
+                    message="layer 'uarch' must not import layer 'obs'"),
+            Finding(path="src/repro/gen.py", line=7, column=12,
+                    rule_id="SEED010",
+                    message="seed of numpy.random.default_rng() traces to "
+                            "parameter 'n' of repro.gen.make()"),
+        ]
+
+    def test_sarif_matches_the_golden_snapshot(self):
+        rendered = render_sarif(self.findings())
+        golden = GOLDEN_SARIF.read_text(encoding="utf-8").rstrip("\n")
+        assert rendered == golden
+
+    def test_sarif_is_valid_json_with_required_fields(self):
+        log = json.loads(render_sarif(self.findings()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] \
+            == ["LAY001", "SEED010"]
+        result = run["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] \
+            == "src/repro/uarch/core.py"
+        assert location["region"]["startLine"] == 24
+
+
+class TestNoqaFile:
+    def test_bare_noqa_file_suppresses_everything(self):
+        assert file_suppressions("# repro: noqa-file\nx = 1\n") is None
+
+    def test_targeted_noqa_file_names_its_rules(self):
+        got = file_suppressions("# repro: noqa-file[LAY001,RNG001]\n")
+        assert got == {"LAY001", "RNG001"}
+
+    def test_directive_outside_the_window_is_ignored(self):
+        source = "\n" * 5 + "# repro: noqa-file[LAY001]\n"
+        assert file_suppressions(source) is ...
+
+    def test_noqa_file_is_not_a_line_noqa(self):
+        # The lookahead keeps noqa-file from reading as a bare line noqa.
+        assert line_suppressions("# repro: noqa-file[LAY001]\n") == {}
+
+    def test_file_directive_filters_per_file_findings(self):
+        from repro.lint import lint_source
+
+        source = "# repro: noqa-file[RNG001]\n" + RNG_SOURCE
+        assert lint_source(source, "x.py") == []
+
+    def test_file_directive_filters_project_findings(self, build_tree):
+        root = build_tree({
+            "repro/uarch/core.py":
+                "# repro: noqa-file[LAY001]\nimport repro.runner\n",
+            "repro/runner/api.py": "x = 1\n",
+        })
+        run = run_lint([str(root / "repro")], project=True)
+        assert all(f.rule_id != "LAY001" for f in run.findings)
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(RNG_SOURCE)
+        assert main(["lint", str(target)]) == 1
+
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+
+    def test_parse_failure_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert main(["lint", str(target)]) == 2
+        assert "PAR000" in capsys.readouterr().out
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--select", "NOPE999", str(target)]) == 2
+        assert "lint error" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--update-baseline", str(target)]) == 2
+
+    def test_baseline_gate_suppresses_known_debt(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(RNG_SOURCE)
+        baseline = tmp_path / "base.json"
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", str(target)]) == 0
+        capsys.readouterr()
+        # Same debt is now accepted; the gate passes.
+        assert main(["lint", "--baseline", str(baseline),
+                     str(target)]) == 0
+        assert "known finding" in capsys.readouterr().err
+        # New debt (a different finding) still fails.
+        target.write_text(RNG_SOURCE + "def f(x=[]):\n    return x\n")
+        assert main(["lint", "--baseline", str(baseline),
+                     str(target)]) == 1
+
+    def test_project_flag_runs_the_second_tier(self, build_tree, tmp_path,
+                                               capsys):
+        build_tree({
+            "repro/uarch/core.py": "import repro.runner\n",
+            "repro/runner/api.py": "x = 1\n",
+        })
+        assert main(["lint", "--project", str(tmp_path / "repro")]) == 1
+        assert "LAY001" in capsys.readouterr().out
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(RNG_SOURCE)
+        out = tmp_path / "report.sarif"
+        assert main(["lint", "--format", "sarif", "--output", str(out),
+                     str(target)]) == 1
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "RNG001"
