@@ -69,8 +69,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--obs-overhead", action="store_true",
         help="instead of the engine A/B: measure tracing-enabled vs "
-             "-disabled wall time; exit 1 when the median overhead "
-             "exceeds the budget",
+             "-disabled wall time (span profiler importable but "
+             "disabled, its per-span gate check included); exit 1 when "
+             "the median overhead exceeds the budget",
     )
     args = parser.parse_args(argv)
 

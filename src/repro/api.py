@@ -61,13 +61,21 @@ from .errors import (
     WorkloadError,
 )
 from .obs import (
+    CriticalPathReport,
     DriftDetector,
     DriftReport,
     DriftThresholds,
     MetricsRegistry,
     RunLedger,
+    SpanProfiler,
     Tracer,
+    UtilizationReport,
     check_ledger,
+    chrome_trace,
+    critical_path,
+    export_chrome_trace,
+    load_spans,
+    utilization,
 )
 from .perf import CounterReport, PerfSession
 from .phases import (
@@ -145,14 +153,22 @@ __all__ = [
     "feature_vector",
     "make_phases",
     # Observability
+    "CriticalPathReport",
     "DriftDetector",
     "DriftReport",
     "DriftThresholds",
     "MetricsRegistry",
     "RunLedger",
+    "SpanProfiler",
     "Tracer",
+    "UtilizationReport",
     "check_ledger",
+    "chrome_trace",
+    "critical_path",
+    "export_chrome_trace",
+    "load_spans",
     "obs",
+    "utilization",
     # Errors
     "AnalysisError",
     "ClusteringError",

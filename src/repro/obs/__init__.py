@@ -49,12 +49,29 @@ from .ledger import (
     characteristic_digest,
     default_ledger_path,
 )
+from .critical import (
+    CriticalPathReport,
+    PathSegment,
+    StageShare,
+    UtilizationReport,
+    WorkerLine,
+    critical_path,
+    critical_path_seconds,
+    utilization,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_PREFIX,
     ERROR_BUCKETS,
     MetricsError,
     MetricsRegistry,
+)
+from .profiler import (
+    SpanProfiler,
+    merge_profile_data,
+    profile_digest,
+    render_collapsed,
+    render_top,
 )
 from .summarize import (
     StageLine,
@@ -66,6 +83,7 @@ from .summarize import (
     summarize,
     summarize_spans,
 )
+from .timeline import chrome_trace, export_chrome_trace
 from .trace import (
     DEFAULT_CAPACITY,
     NULL_SPAN,
@@ -78,6 +96,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_CAPACITY",
     "DEFAULT_PREFIX",
+    "CriticalPathReport",
     "DriftDetector",
     "DriftFinding",
     "DriftReport",
@@ -90,35 +109,51 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsError",
+    "PathSegment",
     "RunLedger",
     "SpanHandle",
+    "SpanProfiler",
     "StageLine",
+    "StageShare",
     "TraceFileError",
     "TraceSummary",
     "Tracer",
+    "UtilizationReport",
+    "WorkerLine",
     "absorb_worker_payload",
     "build_run_record",
     "characteristic_digest",
     "check_ledger",
+    "chrome_trace",
     "count",
+    "critical_path",
+    "critical_path_seconds",
     "default_ledger_path",
     "disable",
     "enable",
     "enabled",
+    "export_chrome_trace",
     "in_span",
     "load_spans",
+    "merge_profile_data",
     "observe",
     "paper_anchor_vector",
+    "active_profiler",
     "profile",
+    "profile_digest",
+    "profile_stage_names",
     "record",
     "registry",
+    "render_collapsed",
     "render_table",
+    "render_top",
     "render_tree",
     "sampling_rel_sigma",
     "set_gauge",
     "summarize",
     "summarize_spans",
     "tracer",
+    "utilization",
     "worker_payload",
 ]
 
@@ -129,16 +164,24 @@ __all__ = [
 
 _TRACER: Optional[Tracer] = None
 _REGISTRY: Optional[MetricsRegistry] = None
+_PROFILER: Optional[SpanProfiler] = None
 
 
 def enable(
     trace_path: Optional[str] = None,
     capacity: int = DEFAULT_CAPACITY,
     metrics: bool = True,
+    profile_stages=None,
 ) -> Tracer:
     """Turn observability on for this process (idempotent-ish: calling
-    again replaces the tracer, closing any previous sink)."""
-    global _TRACER, _REGISTRY
+    again replaces the tracer, closing any previous sink).
+
+    ``profile_stages`` names the span stages (``{"engine.exec"}``) the
+    span-scoped profiler collects inside; ``None`` or an empty set — the
+    default — leaves the profiler off entirely, so the only hot-path
+    cost is one attribute check per span.
+    """
+    global _TRACER, _REGISTRY, _PROFILER
     if _TRACER is not None:
         _TRACER.close()
     _TRACER = Tracer(capacity=capacity, sink_path=trace_path)
@@ -146,16 +189,22 @@ def enable(
         _REGISTRY = MetricsRegistry()
     elif not metrics:
         _REGISTRY = None
+    if profile_stages:
+        _PROFILER = SpanProfiler(profile_stages)
+        _TRACER.set_profiler(_PROFILER)
+    else:
+        _PROFILER = None
     return _TRACER
 
 
 def disable() -> None:
     """Turn observability off and release the tracer/registry."""
-    global _TRACER, _REGISTRY
+    global _TRACER, _REGISTRY, _PROFILER
     if _TRACER is not None:
         _TRACER.close()
     _TRACER = None
     _REGISTRY = None
+    _PROFILER = None
 
 
 def enabled() -> bool:
@@ -170,6 +219,20 @@ def tracer() -> Optional[Tracer]:
 def registry() -> Optional[MetricsRegistry]:
     """The active metrics registry, or None when disabled."""
     return _REGISTRY
+
+
+def active_profiler() -> Optional[SpanProfiler]:
+    """The active span-scoped profiler, or None when off."""
+    return _PROFILER
+
+
+def profile_stage_names() -> tuple:
+    """The stage names the profiler collects inside (``()`` when off).
+
+    This is what the runner forwards to pool workers so their profilers
+    watch the same stages.
+    """
+    return tuple(sorted(_PROFILER.stages)) if _PROFILER is not None else ()
 
 
 # ---------------------------------------------------------------------------
@@ -235,13 +298,23 @@ def worker_payload() -> Optional[Dict[str, object]]:
 
     Called by pool workers after each task; returns ``None`` when
     observability is off so the result channel carries no dead weight.
+    The payload carries the worker's clock epoch and pid so the parent
+    can place grafted spans on a shared timeline, plus the profiler
+    aggregates when span-scoped profiling is on.
     """
     if _TRACER is None:
         return None
-    payload: Dict[str, object] = {"spans": _TRACER.drain()}
+    payload: Dict[str, object] = {
+        "spans": _TRACER.drain(),
+        "epoch_unix": _TRACER.epoch_unix,
+        "pid": _TRACER.pid,
+    }
     if _REGISTRY is not None:
         payload["metrics"] = _REGISTRY.dump()
         _REGISTRY.reset()
+    if _PROFILER is not None:
+        payload["profile"] = _PROFILER.data()
+        _PROFILER.reset()
     return payload
 
 
@@ -249,10 +322,29 @@ def absorb_worker_payload(
     payload: Optional[Dict[str, object]],
     extra_root_attrs: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Graft a worker's spans and merge its metrics into this process."""
+    """Graft a worker's spans and merge its metrics + profile into this
+    process, rebasing span start offsets onto this tracer's clock."""
+    global _PROFILER
     if payload is None:
         return
     if _TRACER is not None and payload.get("spans"):
-        _TRACER.graft(payload["spans"], extra_root_attrs=extra_root_attrs)
+        rebase = 0.0
+        worker_epoch = payload.get("epoch_unix")
+        if isinstance(worker_epoch, (int, float)):
+            rebase = float(worker_epoch) - _TRACER.epoch_unix
+        _TRACER.graft(
+            payload["spans"], extra_root_attrs=extra_root_attrs,
+            rebase_s=rebase,
+        )
     if _REGISTRY is not None and payload.get("metrics"):
         _REGISTRY.merge(payload["metrics"])
+    worker_profile = payload.get("profile")
+    if worker_profile:
+        if _PROFILER is None:
+            # The parent had no matching stage open (pooled sweeps run
+            # the stages in workers); adopt the worker's stage set so
+            # the merged profile still surfaces through active_profiler.
+            _PROFILER = SpanProfiler(worker_profile.get("stages") or [])
+            if _TRACER is not None:
+                _TRACER.set_profiler(_PROFILER)
+        _PROFILER.merge(worker_profile)

@@ -90,12 +90,21 @@ def build_run_record(
     engine: str,
     metrics: Optional[Dict[str, object]] = None,
     timestamp: Optional[float] = None,
+    critical_path_s: Optional[float] = None,
+    profile_digest: Optional[str] = None,
 ) -> Dict[str, object]:
     """Assemble one sweep's ledger record (not yet appended).
 
     The ``run_id`` is a short content hash over the whole record
     (timestamp included), so re-running the same sweep yields distinct
     ids while the payload itself stays deterministic.
+
+    ``critical_path_s`` (the traced sweep's critical-path length) and
+    ``profile_digest`` (the span-scoped profile's shape hash) are
+    schema-compatible extras: keys absent on untraced runs and on every
+    pre-existing ledger line, ignored by :func:`comparability_key`, so
+    attribution trends ride the existing drift tooling without
+    invalidating history.
     """
     from .. import __version__
 
@@ -115,6 +124,10 @@ def build_run_record(
             for name, report in sorted(reports.items())
         },
     }
+    if critical_path_s is not None:
+        record["critical_path_s"] = float(critical_path_s)
+    if profile_digest is not None:
+        record["profile_digest"] = str(profile_digest)
     record["run_id"] = _content_hash(record)[:12]
     return record
 

@@ -11,6 +11,7 @@ without double counting nested stages.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -52,7 +53,15 @@ class TraceSummary:
 
 
 def load_spans(path: str) -> List[Dict[str, object]]:
-    """Read one span dict per JSONL line (blank lines skipped)."""
+    """Read one span dict per JSONL line (blank lines skipped).
+
+    Salvage-friendly, the same contract as
+    :meth:`~repro.obs.ledger.RunLedger.records`: a corrupt or truncated
+    line — typically the trailing half-line of a sweep that was killed
+    mid-write — is skipped with a warning instead of sinking the whole
+    file; every well-formed span around it is still returned.  Only an
+    unreadable file raises.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
@@ -65,14 +74,20 @@ def load_spans(path: str) -> List[Dict[str, object]]:
             continue
         try:
             record = json.loads(text)
-        except ValueError as error:
-            raise TraceFileError(
-                "%s:%d is not valid JSON: %s" % (path, lineno, error)
-            ) from error
-        if not isinstance(record, dict) or "name" not in record:
-            raise TraceFileError(
-                "%s:%d is not a span record" % (path, lineno)
+        except ValueError:
+            warnings.warn(
+                "trace %s:%d is not valid JSON; skipping the line"
+                % (path, lineno),
+                stacklevel=2,
             )
+            continue
+        if not isinstance(record, dict) or "name" not in record:
+            warnings.warn(
+                "trace %s:%d is not a span record; skipping the line"
+                % (path, lineno),
+                stacklevel=2,
+            )
+            continue
         spans.append(record)
     return spans
 

@@ -30,14 +30,17 @@ the ``parent`` ids (see :mod:`repro.obs.summarize`).
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import ReproError
 
-#: Span-record schema version, stamped on every JSONL line.
-SPAN_SCHEMA = 1
+#: Span-record schema version, stamped on every JSONL line.  Version 2
+#: added the ``t0_s`` start offset and the recording ``pid`` — both
+#: additive, so version-1 consumers keep working.
+SPAN_SCHEMA = 2
 
 #: Default ring-buffer capacity (finished spans kept in memory).
 DEFAULT_CAPACITY = 4096
@@ -79,9 +82,15 @@ class SpanHandle:
     def __enter__(self) -> "SpanHandle":
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
+        profiler = self._tracer._profiler
+        if profiler is not None:
+            profiler.span_started(self.name)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        profiler = self._tracer._profiler
+        if profiler is not None:
+            profiler.span_finished(self.name)
         wall = time.perf_counter() - self._wall0
         cpu = time.process_time() - self._cpu0
         status = "ok"
@@ -141,6 +150,17 @@ class Tracer:
         self._next_id = 1
         self._dropped = 0
         self._sink = None
+        #: Optional :class:`~repro.obs.profiler.SpanProfiler` notified on
+        #: span enter/exit; ``None`` keeps the hot path at one attribute
+        #: read per span.
+        self._profiler = None
+        #: Clock base for span start offsets: ``t0_s`` is seconds of
+        #: ``perf_counter`` since tracer construction, and ``epoch_unix``
+        #: maps that offset back onto the shared wall clock so traces from
+        #: different processes can be aligned on one timeline.
+        self._t_init = time.perf_counter()
+        self.epoch_unix = time.time()
+        self.pid = os.getpid()
         self.sink_path = sink_path
         if sink_path is not None:
             try:
@@ -149,6 +169,15 @@ class Tracer:
                 raise ObsError(
                     "cannot open trace sink %s: %s" % (sink_path, error)
                 ) from error
+
+    def set_profiler(self, profiler) -> None:
+        """Attach a span-scoped profiler (or detach with ``None``).
+
+        The profiler's ``span_started``/``span_finished`` hooks fire on
+        every span enter/exit; it decides internally which stage names
+        activate collection (see :class:`repro.obs.profiler.SpanProfiler`).
+        """
+        self._profiler = profiler
 
     # -- recording ---------------------------------------------------------
 
@@ -175,6 +204,8 @@ class Tracer:
         or that are instantaneous markers (``pair.failure``).
         """
         parent = self._stack[-1] if self._stack else None
+        # The externally timed work ended "now", so it started wall_s ago.
+        t0_s = max(time.perf_counter() - self._t_init - wall_s, 0.0)
         record = self._make_record(
             span_id=self._next_id,
             parent_id=parent.span_id if parent else None,
@@ -184,6 +215,8 @@ class Tracer:
             cpu_s=cpu_s,
             status="ok",
             attrs=dict(attrs),
+            t0_s=t0_s,
+            pid=self.pid,
         )
         self._next_id += 1
         self._emit(record)
@@ -207,22 +240,27 @@ class Tracer:
             cpu_s=cpu_s,
             status=status,
             attrs=handle.attrs,
+            t0_s=handle._wall0 - self._t_init,
+            pid=self.pid,
         ))
 
     @staticmethod
     def _make_record(span_id: int, parent_id: Optional[int], depth: int,
                      name: str, wall_s: float, cpu_s: float, status: str,
-                     attrs: Dict[str, object]) -> Dict[str, object]:
+                     attrs: Dict[str, object], t0_s: float = 0.0,
+                     pid: int = 0) -> Dict[str, object]:
         return {
             "schema": SPAN_SCHEMA,
             "id": span_id,
             "parent": parent_id,
             "depth": depth,
             "name": name,
+            "t0_s": t0_s,
             "wall_s": wall_s,
             "cpu_s": cpu_s,
             "status": status,
             "attrs": attrs,
+            "pid": pid,
         }
 
     def _emit(self, record: Dict[str, object]) -> None:
@@ -261,14 +299,18 @@ class Tracer:
     # -- cross-process stitching -------------------------------------------
 
     def graft(self, records: Iterable[Dict[str, object]],
-              extra_root_attrs: Optional[Dict[str, object]] = None) -> int:
+              extra_root_attrs: Optional[Dict[str, object]] = None,
+              rebase_s: float = 0.0) -> int:
         """Adopt spans recorded by another tracer (a pool worker).
 
         Ids are remapped into this tracer's sequence, roots of the
         grafted batch are re-parented under the innermost active span,
         depths are shifted accordingly, and ``extra_root_attrs`` (e.g.
         ``{"cache": "miss"}``) are merged into the batch's root spans.
-        Returns the number of spans grafted.
+        ``rebase_s`` shifts the batch's ``t0_s`` start offsets into this
+        tracer's clock frame (the worker's epoch minus ours); the
+        recording ``pid`` is preserved so timeline consumers keep one
+        track per worker.  Returns the number of spans grafted.
         """
         parent = self._stack[-1] if self._stack else None
         batch = list(records)
@@ -307,6 +349,8 @@ class Tracer:
                 cpu_s=float(record.get("cpu_s") or 0.0),
                 status=str(record.get("status") or "ok"),
                 attrs=attrs,
+                t0_s=float(record.get("t0_s") or 0.0) + rebase_s,
+                pid=int(record.get("pid") or self.pid),
             ))
             count += 1
         return count

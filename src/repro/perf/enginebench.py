@@ -175,7 +175,10 @@ def measure_obs_overhead(
     is the hottest configuration that must stay cheap — and additionally
     pays one run-ledger append per timed run, so the budget also covers
     the record the :class:`~repro.runner.runner.SuiteRunner` persists at
-    the end of every sweep.
+    the end of every sweep.  With the span-scoped profiler wired into
+    the tracer but not requested (no ``profile_stages``), every span
+    enter/exit also pays its one-attribute gate check here, so the same
+    budget covers the profiler's disabled cost.
     """
     import os
     import tempfile

@@ -77,9 +77,11 @@ class PerfSession:
                 "perf reported collection errors for this pair in the paper",
             )
         # The SuiteRunner opens the per-pair span itself (it knows the
-        # cache outcome and attempt count); a session called directly
-        # opens its own so standalone traces still group by pair.
-        if obs.in_span("pair.run"):
+        # cache outcome and attempt count) and wraps retry attempts in
+        # pair.retry; under either, the stage spans nest directly.  A
+        # session called directly opens its own pair.run so standalone
+        # traces still group by pair.
+        if obs.in_span("pair.run") or obs.in_span("pair.retry"):
             return self._run_measured(profile)
         with obs.profile("pair.run", pair=profile.pair_name):
             return self._run_measured(profile)

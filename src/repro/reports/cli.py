@@ -8,6 +8,9 @@ Subcommands::
     repro run --pairs 4             # characterize the first N REF pairs
     repro pair 505.mcf_r            # characterize one application (ref)
     repro trace summarize t.jsonl   # per-stage breakdown of a trace file
+    repro trace export t.jsonl      # Perfetto/chrome://tracing timeline
+    repro trace critical-path t.jsonl   # longest dependency chain
+    repro trace utilization t.jsonl     # per-worker busy/idle/stall
     repro lint src/                 # run the repo's static-analysis pass
     repro bench-diff                # scalar-vs-vector engine benchmark
     repro obs history               # past sweeps from the run ledger
@@ -24,6 +27,7 @@ with the subcommand position winning when both are given.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -107,6 +111,22 @@ def _sweep_parent(top_level: bool) -> argparse.ArgumentParser:
         default=default(False),
         help="collect metrics and print a Prometheus-format dump on exit",
     )
+    group.add_argument(
+        "--profile-stage",
+        action="append",
+        metavar="STAGE",
+        default=default(None),
+        help="activate the span-scoped profiler inside this span stage "
+             "(e.g. engine.exec; repeatable); prints a top-N function "
+             "table on exit",
+    )
+    group.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=default(None),
+        help="write the profile as collapsed stacks (flamegraph.pl "
+             "format) to FILE",
+    )
     return parent
 
 
@@ -172,6 +192,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tree", action="store_true",
         help="also print the span tree itself",
     )
+
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to a visual timeline "
+             "(load in ui.perfetto.dev or chrome://tracing)",
+    )
+    export.add_argument("file", help="trace file written by --trace")
+    export.add_argument(
+        "--format", choices=["chrome"], default="chrome",
+        help="output format (default %(default)s)",
+    )
+    export.add_argument(
+        "--output", "-o", metavar="FILE", default=None,
+        help="output path (default: <file>.chrome.json)",
+    )
+
+    crit = trace_sub.add_parser(
+        "critical-path",
+        help="the longest dependency chain through the span tree, with "
+             "per-stage self-time shares",
+    )
+    crit.add_argument("file", help="trace file written by --trace")
+    crit.add_argument(
+        "--segments", type=int, default=40, metavar="N",
+        help="show at most N chain segments (default %(default)s)",
+    )
+
+    util = trace_sub.add_parser(
+        "utilization",
+        help="per-worker busy/idle/stall intervals from pair spans",
+    )
+    util.add_argument("file", help="trace file written by --trace")
 
     lint = subparsers.add_parser(
         "lint",
@@ -702,13 +754,47 @@ def _cmd_phases(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from ..obs import render_table, render_tree, summarize
+    from ..obs import (
+        critical_path,
+        load_spans,
+        render_table,
+        render_tree,
+        summarize_spans,
+        utilization,
+    )
+    from ..obs.timeline import chrome_trace
 
-    summary = summarize(args.file)
-    print(render_table(summary))
-    if args.tree:
-        print()
-        print(render_tree(summary))
+    spans = load_spans(args.file)
+    if not spans:
+        # An empty (or spans-free) file is a valid state — a sweep that
+        # recorded nothing — not an error: say so and exit clean.
+        print("no spans in %s" % args.file)
+        return 0
+    if args.trace_command == "summarize":
+        summary = summarize_spans(spans)
+        print(render_table(summary))
+        if args.tree:
+            print()
+            print(render_tree(summary))
+        return 0
+    if args.trace_command == "export":
+        output = args.output or (args.file + ".chrome.json")
+        document = chrome_trace(spans)
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+        other = document["otherData"]
+        print(
+            "wrote %s: %d events over %d span(s), %d worker track(s)"
+            % (output, len(document["traceEvents"]), other["spans"],
+               len(other["workers"]))
+        )
+        return 0
+    if args.trace_command == "critical-path":
+        print(critical_path(spans).render(limit=args.segments))
+        return 0
+    # utilization
+    print(utilization(spans).render())
     return 0
 
 
@@ -716,11 +802,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", False)
+    profile_stages = tuple(getattr(args, "profile_stage", None) or ())
+    profile_out = getattr(args, "profile_out", None)
     obs_on = (
-        args.command in _SWEEP_COMMANDS and (trace_path or metrics)
+        args.command in _SWEEP_COMMANDS
+        and (trace_path or metrics or profile_stages)
     )
     if obs_on:
-        obs.enable(trace_path=trace_path, metrics=True)
+        obs.enable(
+            trace_path=trace_path, metrics=True,
+            profile_stages=profile_stages,
+        )
     try:
         if args.command == "list":
             return _cmd_list()
@@ -747,6 +839,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 registry = obs.registry()
                 if registry is not None:
                     print(registry.to_prometheus(), end="")
+            profiler = obs.active_profiler()
+            if profiler is not None:
+                from ..obs.profiler import render_collapsed, render_top
+
+                data = profiler.data()
+                print(render_top(data))
+                if profile_out:
+                    with open(profile_out, "w", encoding="utf-8") as handle:
+                        text = render_collapsed(data)
+                        handle.write(text + "\n" if text else "")
+                    print("wrote collapsed stacks to %s" % profile_out,
+                          file=sys.stderr)
             if trace_path:
                 print("wrote trace to %s" % trace_path, file=sys.stderr)
             obs.disable()

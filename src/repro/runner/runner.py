@@ -60,13 +60,14 @@ _WORKER_SESSION: Optional[PerfSession] = None
 def _init_worker(
     config: SystemConfig, sample_ops: int, warmup_fraction: float,
     engine: str = "auto", obs_on: bool = False,
+    profile_stages: Tuple[str, ...] = (),
 ) -> None:
     global _WORKER_SESSION
     if obs_on:
-        # Sinkless tracer + registry per worker; spans and metric
-        # snapshots ride home on the result tuple and are stitched into
-        # the parent's trace by the runner.
-        obs.enable()
+        # Sinkless tracer + registry per worker; spans, metric snapshots,
+        # and span-scoped profiler aggregates ride home on the result
+        # tuple and are stitched into the parent's trace by the runner.
+        obs.enable(profile_stages=profile_stages)
     _WORKER_SESSION = PerfSession(
         config=config, sample_ops=sample_ops, warmup_fraction=warmup_fraction,
         engine=engine,
@@ -439,6 +440,8 @@ class SuiteRunner:
             manifest, reports, self.config, self.sample_ops,
             self.warmup_fraction, self._session.resolved_engine,
             metrics=metrics,
+            critical_path_s=self._sweep_critical_path(),
+            profile_digest=self._sweep_profile_digest(),
         )
         try:
             self.ledger.append(record)
@@ -454,6 +457,47 @@ class SuiteRunner:
         obs.observe("ledger_write_seconds", time.perf_counter() - started,
                     help_text="wall time spent building and appending one "
                               "ledger record")
+
+    @staticmethod
+    def _sweep_critical_path() -> Optional[float]:
+        """Critical-path seconds of the newest traced sweep, if any.
+
+        Best-effort, like every ledger enrichment: ``None`` when tracing
+        is off or the ring buffer no longer holds the sweep's root.
+        """
+        tracer = obs.tracer()
+        if tracer is None:
+            return None
+        from ..obs.critical import critical_path_seconds
+
+        spans = tracer.finished()
+        roots = [s for s in spans if s.get("name") == "suite.run"]
+        if not roots:
+            return None
+        newest = max(roots, key=lambda s: int(s.get("id") or 0))
+        root_id = newest.get("id")
+        subtree_ids = {root_id}
+        # Finish-ordered records list children before parents, so one
+        # reverse pass collects the whole subtree.
+        subtree = [newest]
+        for span in reversed(spans):
+            if span.get("parent") in subtree_ids:
+                subtree_ids.add(span.get("id"))
+                subtree.append(span)
+        return critical_path_seconds(subtree)
+
+    @staticmethod
+    def _sweep_profile_digest() -> Optional[str]:
+        """Shape digest of the active span-scoped profile, if any."""
+        profiler = obs.active_profiler()
+        if profiler is None:
+            return None
+        from ..obs.profiler import profile_digest
+
+        data = profiler.data()
+        if not data.get("stacks"):
+            return None
+        return profile_digest(data)
 
     def _record_run_metrics(self, manifest: RunManifest) -> None:
         """Fold one sweep's accounting into the process metrics."""
@@ -563,9 +607,21 @@ class SuiteRunner:
                 attempts += 1
                 attempt_started = time.perf_counter()
                 try:
-                    report = self._session.run(
-                        profile, strict_errors=strict_errors
-                    )
+                    if attempts > 1:
+                        # Retries get their own subtree so a failed first
+                        # attempt's stage spans and the retry's never
+                        # interleave under pair.run — each attempt stays
+                        # a distinct, correctly parented unit.
+                        with obs.profile(
+                            "pair.retry", pair=name, attempt=attempts
+                        ):
+                            report = self._session.run(
+                                profile, strict_errors=strict_errors
+                            )
+                    else:
+                        report = self._session.run(
+                            profile, strict_errors=strict_errors
+                        )
                 except Exception as error:
                     seconds += time.perf_counter() - attempt_started
                     last_error = (type(error).__name__, str(error))
@@ -602,7 +658,7 @@ class SuiteRunner:
             initializer=_init_worker,
             initargs=(
                 self.config, self.sample_ops, self.warmup_fraction,
-                self.engine, obs.enabled(),
+                self.engine, obs.enabled(), obs.profile_stage_names(),
             ),
         ) as pool:
             futures = {

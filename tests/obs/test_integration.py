@@ -200,6 +200,137 @@ class TestPooledGraft:
         assert 'repro_engine_runs_total{engine="vector"} 2' in text
 
 
+class TestRetrySpanGraft:
+    def test_retry_attempt_gets_own_parented_subtree(self, tmp_path, pairs):
+        trace_path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(trace_path))
+        runner = SuiteRunner(
+            sample_ops=SAMPLE_OPS, workers=1, retries=2, use_cache=False
+        )
+        real_run = runner._session.run
+        calls = {"n": 0}
+
+        def flaky(profile, strict_errors=False):
+            # Run the real stages, then fail once: the first attempt
+            # leaves a full stage subtree behind before the retry.
+            calls["n"] += 1
+            report = real_run(profile, strict_errors=strict_errors)
+            if calls["n"] == 1:
+                raise SimulationError("injected transient failure")
+            return report
+
+        runner._session.run = flaky
+        result = runner.run(pairs[:1])
+        obs.disable()
+        assert result.ok
+
+        records, children = load_tree(trace_path)
+        pair_span = [r for r in records if r["name"] == "pair.run"][0]
+        assert pair_span["attrs"]["attempts"] == 2
+        # First attempt's stages sit directly under pair.run; the retry
+        # is one distinct subtree after them — the attempts never
+        # interleave.
+        stages = TestGoldenSpanTree.COLD_STAGES
+        assert child_names(children, pair_span) == stages + ["pair.retry"]
+        retry = [r for r in records if r["name"] == "pair.retry"][0]
+        assert retry["parent"] == pair_span["id"]
+        assert retry["attrs"]["attempt"] == 2
+        assert child_names(children, retry) == stages
+
+    def test_utilization_counts_retry_time_as_busy(self, tmp_path, pairs):
+        from repro.obs import load_spans, utilization
+
+        trace_path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(trace_path))
+        runner = SuiteRunner(
+            sample_ops=SAMPLE_OPS, workers=1, retries=2, use_cache=False
+        )
+        real_run = runner._session.run
+        calls = {"n": 0}
+
+        def flaky(profile, strict_errors=False):
+            calls["n"] += 1
+            report = real_run(profile, strict_errors=strict_errors)
+            if calls["n"] == 1:
+                raise SimulationError("injected transient failure")
+            return report
+
+        runner._session.run = flaky
+        runner.run(pairs[:1])
+        obs.disable()
+
+        spans = load_spans(str(trace_path))
+        pair_span = [s for s in spans if s["name"] == "pair.run"][0]
+        retry_span = [s for s in spans if s["name"] == "pair.retry"][0]
+        report = utilization(spans)
+        assert len(report.workers) == 1
+        line = report.workers[0]
+        assert line.pairs == 1
+        # The pair.run interval spans both attempts, so the retry's time
+        # is busy time, not a scheduling gap.
+        assert line.busy_s == pytest.approx(pair_span["wall_s"], rel=1e-6)
+        assert line.busy_s > retry_span["wall_s"]
+
+
+class TestPerformanceAttributionAcceptance:
+    """The ISSUE acceptance path: one traced sweep, three artifacts."""
+
+    def test_traced_sweep_yields_timeline_path_and_profile(self, tmp_path):
+        from repro.obs import (
+            critical_path,
+            export_chrome_trace,
+            load_spans,
+            render_collapsed,
+        )
+
+        eight = cpu2017().pairs()[:8]
+        trace_path = tmp_path / "trace.jsonl"
+        obs.enable(
+            trace_path=str(trace_path), profile_stages=["engine.exec"]
+        )
+        runner = SuiteRunner(
+            sample_ops=SAMPLE_OPS, workers=2, cache_dir=tmp_path / "cache"
+        )
+        result = runner.run(eight)
+        profile_data = obs.active_profiler().data()
+        obs.disable()
+        assert result.ok
+
+        spans = load_spans(str(trace_path))
+
+        # (a) Chrome export: Perfetto-loadable JSON, one track per
+        # recording process (parent + each worker pid seen in the trace).
+        out = tmp_path / "trace.chrome.json"
+        export_chrome_trace(str(trace_path), str(out))
+        document = json.loads(out.read_text())
+        span_pids = {s["pid"] for s in spans}
+        tracks = {
+            e["pid"] for e in document["traceEvents"] if e["ph"] == "M"
+        }
+        assert tracks == span_pids
+        worker_pids = span_pids - {
+            s["pid"] for s in spans if s["parent"] is None
+        }
+        assert set(document["otherData"]["workers"]) == worker_pids
+        assert len(worker_pids) == 2
+
+        # (b) Critical path: stage self times sum within 5% of the root
+        # span's wall time (exact by construction; 5% is the contract).
+        report = critical_path(spans)
+        attributed = sum(stage.seconds for stage in report.stages)
+        assert report.total_s > 0
+        assert abs(attributed - report.total_s) <= 0.05 * report.total_s
+
+        # (c) Collapsed-stack profile for engine.exec crossed the pool
+        # boundary and renders flamegraph.pl input.
+        text = render_collapsed(profile_data)
+        assert text
+        for line in text.splitlines():
+            stack, _, micros = line.rpartition(" ")
+            assert stack and int(micros) > 0
+        assert "repro.uarch" in text
+
+
 class TestDisabledIsInert:
     def test_runner_emits_nothing_when_disabled(self, pairs):
         assert not obs.enabled()

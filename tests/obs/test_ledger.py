@@ -204,6 +204,62 @@ class TestRunRecord:
             synthetic_record(engine="scalar")
         )
 
+    def test_attribution_fields_recorded_when_given(self, sweep):
+        runner, result = sweep
+        kwargs = dict(
+            manifest=result.manifest, reports=result.reports,
+            config=runner.config, sample_ops=OPS, warmup_fraction=0.15,
+            engine="vector", timestamp=123.0,
+        )
+        record = build_run_record(
+            critical_path_s=1.25, profile_digest="abc123def456", **kwargs
+        )
+        assert record["critical_path_s"] == 1.25
+        assert record["profile_digest"] == "abc123def456"
+        # Untraced runs carry neither key — the fields are optional, not
+        # null-valued, so old and new lines share a shape.
+        bare = build_run_record(**kwargs)
+        assert "critical_path_s" not in bare
+        assert "profile_digest" not in bare
+
+    def test_traced_sweep_records_attribution_fields(
+        self, tmp_path, some_pairs
+    ):
+        from repro import obs
+
+        obs.enable(
+            trace_path=str(tmp_path / "t.jsonl"),
+            profile_stages=["engine.exec"],
+        )
+        try:
+            runner = SuiteRunner(
+                sample_ops=OPS, workers=1, cache_dir=tmp_path / "cache"
+            )
+            runner.run(some_pairs[:1])
+        finally:
+            obs.disable()
+        record = runner.last_run_record
+        assert record["critical_path_s"] > 0.0
+        assert len(record["profile_digest"]) == 12
+
+    def test_attribution_fields_do_not_affect_comparability(self):
+        base = synthetic_record()
+        enriched = synthetic_record(
+            critical_path_s=2.5, profile_digest="abc123def456"
+        )
+        assert comparability_key(base) == comparability_key(enriched)
+
+    def test_comparable_history_mixes_old_and_new_records(self, tmp_path):
+        ledger = RunLedger(path=tmp_path / "l.jsonl")
+        ledger.append(synthetic_record("a" * 12))  # pre-attribution line
+        ledger.append(
+            synthetic_record("b" * 12, critical_path_s=1.0,
+                             profile_digest="d" * 12)
+        )
+        current = ledger.append(synthetic_record("c" * 12))
+        history = ledger.comparable_history(current)
+        assert [r["run_id"] for r in history] == ["a" * 12, "b" * 12]
+
 
 class TestResolve:
     def make_ledger(self, tmp_path):

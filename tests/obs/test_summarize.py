@@ -46,17 +46,30 @@ class TestLoadSpans:
         with pytest.raises(TraceFileError):
             load_spans(str(tmp_path / "nope.jsonl"))
 
-    def test_invalid_json_line_raises_with_lineno(self, tmp_path):
+    def test_invalid_json_line_warns_and_skips(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"name": "ok", "id": 1}\nnot json\n')
-        with pytest.raises(TraceFileError, match=":2"):
-            load_spans(str(path))
+        with pytest.warns(UserWarning, match=":2"):
+            spans = load_spans(str(path))
+        assert [s["name"] for s in spans] == ["ok"]
 
-    def test_non_span_record_raises(self, tmp_path):
+    def test_non_span_record_warns_and_skips(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text('{"id": 1}\n')
-        with pytest.raises(TraceFileError):
-            load_spans(str(path))
+        path.write_text('{"id": 1}\n{"name": "ok", "id": 2}\n')
+        with pytest.warns(UserWarning, match=":1"):
+            spans = load_spans(str(path))
+        assert [s["id"] for s in spans] == [2]
+
+    def test_truncated_trailing_line_salvaged(self, tmp_path):
+        # A crash mid-write leaves a partial last line; the good prefix
+        # must still load (same salvage contract as RunLedger reads).
+        path = tmp_path / "t.jsonl"
+        good = "\n".join(json.dumps(record) for record in SAMPLE)
+        truncated = json.dumps(span(9, None, "pair.run", 0.7))[:25]
+        path.write_text(good + "\n" + truncated)
+        with pytest.warns(UserWarning):
+            spans = load_spans(str(path))
+        assert len(spans) == len(SAMPLE)
 
 
 class TestSummarizeSpans:

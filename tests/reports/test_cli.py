@@ -175,6 +175,85 @@ class TestObservabilityFlags:
         assert main(["trace", "summarize", "/nonexistent/t.jsonl"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_trace_summarize_empty_file_exits_clean(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+    def test_trace_commands_on_spans_free_file_exit_clean(
+        self, tmp_path, capsys
+    ):
+        # A file whose every line gets salvaged away is as empty as a
+        # zero-byte one; every trace subcommand says so and exits 0.
+        salvaged = tmp_path / "salvaged.jsonl"
+        salvaged.write_text('{"id": 1}\n')
+        with pytest.warns(UserWarning):
+            assert main(["trace", "critical-path", str(salvaged)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestTraceAnalysisCli:
+    """trace export / critical-path / utilization plus --profile-stage."""
+
+    @pytest.fixture
+    def traced(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "run", "--pairs", "2", "--sample-ops", "5000", "--no-cache",
+            "--jobs", "1", "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_export_chrome_default_output(self, traced, capsys):
+        assert main(["trace", "export", str(traced), "--format",
+                     "chrome"]) == 0
+        out = capsys.readouterr().out
+        default = str(traced) + ".chrome.json"
+        assert default in out
+        document = json.loads(open(default, encoding="utf-8").read())
+        assert document["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "pair.run" in names and "process_name" in names
+
+    def test_export_chrome_explicit_output(self, traced, tmp_path, capsys):
+        out_path = tmp_path / "out.json"
+        assert main(["trace", "export", str(traced), "-o",
+                     str(out_path)]) == 0
+        assert "wrote %s" % out_path in capsys.readouterr().out
+        json.loads(out_path.read_text())
+
+    def test_critical_path_report(self, traced, capsys):
+        assert main(["trace", "critical-path", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path of suite.run" in out
+        assert "chain (time order" in out
+
+    def test_utilization_report(self, traced, capsys):
+        assert main(["trace", "utilization", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep window" in out
+        assert "pool utilization" in out
+
+    def test_profile_stage_flow(self, tmp_path, capsys):
+        collapsed = tmp_path / "profile.collapsed"
+        assert main([
+            "run", "--pairs", "1", "--sample-ops", "5000", "--no-cache",
+            "--jobs", "1", "--profile-stage", "engine.exec",
+            "--profile-out", str(collapsed),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "function" in captured.out  # top-N table on stdout
+        assert "self_ms" in captured.out
+        assert str(collapsed) in captured.err
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, micros = line.rpartition(" ")
+            assert stack and int(micros) > 0
+        assert not obs.enabled()
+
 
 class TestObsLedgerCli:
     """The run-ledger surface: obs history / diff / check."""
